@@ -1,0 +1,111 @@
+// GC substrate microbenchmarks: fixed-key AES throughput, half-gates
+// garbling and evaluation rates, and the AND-gate counts of the protocol
+// circuits (softmax rows, activations, layernorm) that dominate Primer's
+// GC cost.
+#include <benchmark/benchmark.h>
+
+#include "gc/aes.h"
+#include "gc/fixed_circuits.h"
+#include "gc/garble.h"
+
+using namespace primer;
+
+namespace {
+
+void BM_AesHash(benchmark::State& state) {
+  const FixedKeyAes aes;
+  Block x{123, 456};
+  std::uint64_t tweak = 0;
+  for (auto _ : state) {
+    x = aes.hash(x, ++tweak);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_AesHash);
+
+Circuit make_mul_circuit(std::size_t w) {
+  CircuitBuilder b;
+  const Bus x = b.add_input_bus(w), y = b.add_input_bus(w);
+  b.set_outputs(b.mul(x, y, w));
+  return b.build();
+}
+
+void BM_GarbleMultiplier(benchmark::State& state) {
+  const auto w = static_cast<std::size_t>(state.range(0));
+  const Circuit c = make_mul_circuit(w);
+  Rng rng(5);
+  Garbler g(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.garble(c));
+  }
+  state.counters["ANDs"] = static_cast<double>(c.and_count());
+  state.counters["ns_per_AND"] = benchmark::Counter(
+      static_cast<double>(c.and_count()),
+      benchmark::Counter::kIsIterationInvariantRate |
+          benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_GarbleMultiplier)->Arg(15)->Arg(32)->Arg(64);
+
+void BM_EvalMultiplier(benchmark::State& state) {
+  const auto w = static_cast<std::size_t>(state.range(0));
+  const Circuit c = make_mul_circuit(w);
+  Rng rng(6);
+  Garbler g(rng);
+  const auto gc = g.garble(c);
+  std::vector<Label> in(static_cast<std::size_t>(c.num_inputs));
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = Garbler::active_input(gc, i, (i & 1) != 0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GcEvaluator::eval(c, gc.table, in));
+  }
+  state.counters["ANDs"] = static_cast<double>(c.and_count());
+}
+BENCHMARK(BM_EvalMultiplier)->Arg(15)->Arg(32)->Arg(64);
+
+void BM_GarbleSoftmaxRow(benchmark::State& state) {
+  SoftmaxCircuitSpec spec;
+  spec.t = (1ULL << 38) + 1;  // protocol share width
+  spec.count = static_cast<std::size_t>(state.range(0));
+  spec.frac_shift = 8;
+  const Circuit c = make_softmax_circuit(spec);
+  Rng rng(7);
+  Garbler g(rng);
+  for (auto _ : state) benchmark::DoNotOptimize(g.garble(c));
+  state.counters["ANDs"] = static_cast<double>(c.and_count());
+}
+BENCHMARK(BM_GarbleSoftmaxRow)->Arg(4)->Arg(8)->Arg(30);
+
+void BM_CircuitGateCounts(benchmark::State& state) {
+  // Not a timing benchmark: reports the protocol circuit sizes (the GC-side
+  // cost drivers) as counters for the record.
+  const std::uint64_t t = (1ULL << 38) + 1;
+  for (auto _ : state) {
+    SoftmaxCircuitSpec sm;
+    sm.t = t;
+    sm.count = 30;
+    sm.frac_shift = 8;
+    ActivationCircuitSpec act;
+    act.t = t;
+    act.count = 1;
+    act.frac_shift = 8;
+    act.act = Activation::kGelu;
+    LayerNormCircuitSpec ln;
+    ln.t = t;
+    ln.d = 64;
+    ln.frac_shift = 8;
+    ln.gamma.assign(64, 256);
+    ln.beta.assign(64, 0);
+    state.counters["softmax30_ANDs"] =
+        static_cast<double>(make_softmax_circuit(sm).and_count());
+    state.counters["gelu_ANDs_per_value"] =
+        static_cast<double>(make_activation_circuit(act).and_count());
+    state.counters["layernorm64_ANDs"] =
+        static_cast<double>(make_layernorm_circuit(ln).and_count());
+  }
+}
+BENCHMARK(BM_CircuitGateCounts)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+// HE substrate microbenchmarks (google-benchmark): NTT, encryption,
+// decryption, homomorphic add / plain-mult / ct-mult / rotation across the
+// parameter profiles.  These are the primitive costs the table benches
+// compose; also the ablation data for the n=4096 vs n=8192 parameter choice
+// (DESIGN.md §5.5).
+#include <benchmark/benchmark.h>
+
+#include "he/encoder.h"
+#include "he/he.h"
+#include "ntt/ntt.h"
+#include "ntt/primes.h"
+
+using namespace primer;
+
+namespace {
+
+struct HeFixture {
+  explicit HeFixture(HeProfile profile)
+      : ctx(make_params(profile)),
+        rng(1),
+        keygen(ctx, rng),
+        encoder(ctx),
+        enc(ctx, keygen.secret_key(), rng),
+        dec(ctx, keygen.secret_key()),
+        eval(ctx),
+        gk(keygen.make_galois_keys({1})),
+        rk(keygen.make_relin_key()) {
+    std::vector<u64> vals(encoder.slot_count());
+    rng.fill_uniform_mod(vals, ctx.t());
+    pt = encoder.encode(vals);
+    ct = enc.encrypt(pt);
+    ct2 = enc.encrypt(pt);
+  }
+  HeContext ctx;
+  Rng rng;
+  KeyGenerator keygen;
+  BatchEncoder encoder;
+  Encryptor enc;
+  Decryptor dec;
+  Evaluator eval;
+  GaloisKeys gk;
+  RelinKey rk;
+  Plaintext pt;
+  Ciphertext ct, ct2;
+};
+
+HeFixture& fixture(int profile) {
+  static HeFixture test2048{HeProfile::kTest2048};
+  static HeFixture light4096{HeProfile::kLight4096};
+  static HeFixture prod8192{HeProfile::kProd8192};
+  switch (profile) {
+    case 0: return test2048;
+    case 1: return light4096;
+    default: return prod8192;
+  }
+}
+
+void BM_NttForward(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const u64 p = generate_ntt_primes(50, n, 1)[0];
+  const Ntt ntt(n, p);
+  Rng rng(2);
+  std::vector<u64> a(n);
+  rng.fill_uniform_mod(a, p);
+  for (auto _ : state) {
+    ntt.forward(a);
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+BENCHMARK(BM_NttForward)->Arg(2048)->Arg(4096)->Arg(8192);
+
+void BM_Encrypt(benchmark::State& state) {
+  auto& f = fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(f.enc.encrypt(f.pt));
+  state.SetLabel(f.ctx.params().name);
+}
+BENCHMARK(BM_Encrypt)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_Decrypt(benchmark::State& state) {
+  auto& f = fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(f.dec.decrypt(f.ct));
+  state.SetLabel(f.ctx.params().name);
+}
+BENCHMARK(BM_Decrypt)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_Add(benchmark::State& state) {
+  auto& f = fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Ciphertext a = f.ct;
+    f.eval.add_inplace(a, f.ct2);
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetLabel(f.ctx.params().name);
+}
+BENCHMARK(BM_Add)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_MultiplyPlain(benchmark::State& state) {
+  auto& f = fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Ciphertext a = f.ct;
+    f.eval.multiply_plain_inplace(a, f.pt);
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetLabel(f.ctx.params().name);
+}
+BENCHMARK(BM_MultiplyPlain)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_Rotate(benchmark::State& state) {
+  auto& f = fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Ciphertext a = f.ct;
+    f.eval.rotate_rows_inplace(a, 1, f.gk);
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetLabel(f.ctx.params().name);
+}
+BENCHMARK(BM_Rotate)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_CtCtMultiplyRelin(benchmark::State& state) {
+  auto& f = fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Ciphertext a = f.eval.multiply(f.ct, f.ct2);
+    f.eval.relinearize_inplace(a, f.rk);
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetLabel(f.ctx.params().name);
+}
+BENCHMARK(BM_CtCtMultiplyRelin)->Arg(0)->Arg(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

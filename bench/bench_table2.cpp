@@ -1,0 +1,60 @@
+// Reproduces Table II: per-step ablation of the Primer techniques on
+// BERT-base (n = 30), MNLI-m.  Rows: Primer-base, +FHGS (Primer-F),
+// +Pack (Primer-FP), +CHGS (Primer-FPC); columns: Embed, QKV, QxK, SoftMax,
+// Atten.Value, Others — offline and online seconds per step.
+#include <cstdio>
+
+#include "proto/cost_model.h"
+
+using namespace primer;
+
+namespace {
+
+void print_row(const char* name, const ModelEstimate& e) {
+  std::printf("%-12s", name);
+  for (const char* step : {"embed", "qkv", "qk", "softmax", "attnv", "others"}) {
+    const auto it = e.steps.find(step);
+    std::printf(" %9.1f %8.1f", it->second.offline_s, it->second.online_s);
+  }
+  const auto t = e.total();
+  std::printf("  | %9.1f %8.1f\n", t.offline_s, t.online_s);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Calibrating primitives...\n");
+  const PrimitiveCosts pc = PrimitiveCosts::measure();
+  const BertConfig cfg = bert_base();
+
+  std::printf(
+      "\n=== Table II: per-step ablation, BERT-base n=30 (offline s / online "
+      "s) ===\n");
+  std::printf("%-12s %18s %18s %18s %18s %18s %18s  | %18s\n", "Scheme",
+              "Embed", "QKV", "QxK", "SoftMax", "Atten.V", "Others", "Total");
+
+  const auto base = estimate_cost(cfg, CostedScheme::kPrimerBase, pc);
+  const auto f = estimate_cost(cfg, CostedScheme::kPrimerF, pc);
+  const auto fp = estimate_cost(cfg, CostedScheme::kPrimerFP, pc);
+  const auto fpc = estimate_cost(cfg, CostedScheme::kPrimerFPC, pc);
+  print_row("Primer-base", base);
+  print_row("+FHGS", f);
+  print_row("+Pack", fp);
+  print_row("+CHGS", fpc);
+
+  std::printf("\nAblation claims (paper values in parentheses):\n");
+  std::printf("  FHGS online reduction     : %6.1fx  (159x: 6553s -> 41.2s)\n",
+              base.online_seconds() / f.online_seconds());
+  std::printf("  Packing offline reduction : %6.1fx  (16.1x: 6524s -> 405s)\n",
+              f.offline_seconds() / fp.offline_seconds());
+  std::printf("  CHGS online reduction     : %6.2fx  (1.10x: 39s -> 35.4s)\n",
+              fp.online_seconds() / fpc.online_seconds());
+  const double reduction =
+      1.0 - (fpc.offline_seconds() + fpc.online_seconds()) /
+                (base.offline_seconds() + base.online_seconds());
+  std::printf(
+      "  Primer vs Primer-base total latency reduction: %5.1f%%  "
+      "(paper: 90.6%% ~ 97.5%%)\n",
+      100.0 * reduction);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces Table III: Primer (Primer-FPC) across the BERT model zoo —
+// offline/online latency, throughput (tokens/s) and total message size (GB),
+// with the paper's reported accuracies for reference (GLUE/SQuAD data is not
+// available offline; see DESIGN.md §2 and bench_accuracy for the measured
+// synthetic-task accuracy deltas).
+#include <cstdio>
+
+#include "proto/cost_model.h"
+
+using namespace primer;
+
+int main() {
+  std::printf("Calibrating primitives...\n");
+  const PrimitiveCosts pc = PrimitiveCosts::measure();
+
+  struct PaperRow {
+    double mnli, offline, online, tput, gb;
+  };
+  // Paper Table III reference values (MNLI-m accuracy, latency, throughput,
+  // message GB).
+  const PaperRow paper[] = {{77.6, 318.5, 10.6, 2.83, 0.9},
+                            {81.6, 345.2, 18.9, 1.59, 1.8},
+                            {84.6, 399.4, 35.4, 0.85, 3.6},
+                            {85.4, 452.8, 45.1, 0.67, 3.9},
+                            {86.6, 586.4, 91.6, 0.33, 7.9}};
+
+  std::printf("\n=== Table III: Primer across BERT models ===\n");
+  std::printf("%-12s %3s %5s %3s %3s | %10s %10s %9s %8s | %s\n", "Model", "N",
+              "d", "H", "n", "offline(s)", "online(s)", "tokens/s", "msg GB",
+              "paper(off/on/tput/GB, acc%)");
+  const auto zoo = bert_zoo();
+  for (std::size_t i = 0; i < zoo.size(); ++i) {
+    const auto& cfg = zoo[i];
+    const ModelEstimate e = estimate_cost(cfg, CostedScheme::kPrimerFPC, pc);
+    std::printf(
+        "%-12s %3zu %5zu %3zu %3zu | %10.1f %10.1f %9.2f %8.2f | "
+        "%.0f/%.0f/%.2f/%.1f, %.1f%%\n",
+        cfg.name.c_str(), cfg.blocks, cfg.d_model, cfg.heads, cfg.tokens,
+        e.offline_seconds(), e.online_seconds(), e.throughput_tokens_per_s(),
+        e.message_gb(), paper[i].offline, paper[i].online, paper[i].tput,
+        paper[i].gb, paper[i].mnli);
+  }
+
+  // Scaling claims from the paper's text.
+  const auto tiny = estimate_cost(zoo[0], CostedScheme::kPrimerFPC, pc);
+  const auto small = estimate_cost(zoo[1], CostedScheme::kPrimerFPC, pc);
+  const auto base = estimate_cost(zoo[2], CostedScheme::kPrimerFPC, pc);
+  const auto large = estimate_cost(zoo[4], CostedScheme::kPrimerFPC, pc);
+  std::printf("\nScaling checks (paper in parentheses):\n");
+  std::printf("  small vs tiny online latency : +%5.1f%%  (+78.3%%)\n",
+              100.0 * (small.online_seconds() / tiny.online_seconds() - 1.0));
+  std::printf("  base vs tiny online latency  : +%5.1f%%  (+230%%)\n",
+              100.0 * (base.online_seconds() / tiny.online_seconds() - 1.0));
+  std::printf("  base vs tiny message size    : %5.2fx   (4.0x)\n",
+              base.message_gb() / tiny.message_gb());
+  std::printf("  large vs tiny message size   : %5.2fx   (8.8x)\n",
+              large.message_gb() / tiny.message_gb());
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Demonstrates the tokens-first ciphertext packing (paper §III-D) directly
+// on the HE API: encrypt a token matrix both ways, run the encrypted
+// matmul, and print the rotation counts and timings side by side.
+#include <cstdio>
+
+#include "common/timing.h"
+#include "proto/packing.h"
+#include "ss/secret_share.h"
+
+using namespace primer;
+
+int main() {
+  std::printf("Setting up HE context (kProto2048)...\n");
+  HeContext ctx(make_params(HeProfile::kProto2048));
+  Rng rng(12);
+  KeyGenerator keygen(ctx, rng);
+  BatchEncoder encoder(ctx);
+  Encryptor enc(ctx, keygen.secret_key(), rng);
+  Decryptor dec(ctx, keygen.secret_key());
+  Evaluator eval(ctx);
+  const auto gk = keygen.make_galois_keys({1, 8});
+  const ShareRing ring(ctx.t());
+
+  // A micro "embedding": 8 tokens, 64-wide vocabulary, 16 output features.
+  const std::size_t n = 8, d_in = 64, d_out = 16;
+  const MatI x = ring.random(rng, n, d_in);
+  const MatI w = random_fp_matrix(rng, d_in, d_out, -1.0, 1.0);
+  std::printf("Encrypted matmul: %zu tokens x %zu features -> %zu outputs\n\n",
+              n, d_in, d_out);
+
+  MatI results[2];
+  for (int which = 0; which < 2; ++which) {
+    const auto strategy = which == 0 ? PackingStrategy::kFeatureBased
+                                     : PackingStrategy::kTokensFirst;
+    PackedMatmul mm(ctx, encoder, eval, strategy);
+    const auto packed = mm.encrypt_input(x, enc);
+    PackedMatmulStats stats;
+    Stopwatch sw;
+    const auto out = mm.multiply(packed, w, n, ctx.t(), gk, &stats);
+    const double secs = sw.seconds();
+    results[which] = mm.decrypt_result(out, dec, n, d_out);
+    std::printf("%-14s: %4llu rotations, %4llu plain-mults, %.3f s\n",
+                which == 0 ? "feature-based" : "tokens-first",
+                static_cast<unsigned long long>(stats.rotations),
+                static_cast<unsigned long long>(stats.plain_mults), secs);
+  }
+  std::printf("\nresults identical: %s\n",
+              results[0] == results[1] ? "yes" : "NO (bug!)");
+  std::printf("rotation reduction factor ~ n = %zu tokens, exactly the "
+              "paper's Fig. 6 claim.\n", n);
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Deterministic pseudo-random number generation for the Primer library.
+//
+// All randomness in the library flows through Rng so that every protocol
+// execution, test, and benchmark is reproducible from a single seed.  The
+// generator is xoshiro256** (Blackman & Vigna), which is fast, has a 256-bit
+// state, and passes BigCrush.  It is NOT a CSPRNG; the real deployments the
+// paper targets would use an AES-CTR DRBG, but the statistical properties
+// (uniformity of masks, noise) that the protocols rely on are identical.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace primer {
+
+// xoshiro256** seeded via splitmix64.  Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  // Re-initializes the state from a 64-bit seed using splitmix64 so that
+  // nearby seeds yield unrelated streams.
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform value in [0, bound) without modulo bias (rejection sampling).
+  std::uint64_t uniform(std::uint64_t bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform signed value in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniform(span));
+  }
+
+  // Uniform double in [0, 1).
+  double uniform_real() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Standard normal via Box–Muller (sufficient quality for weight init).
+  double gaussian() {
+    double u1 = uniform_real();
+    double u2 = uniform_real();
+    while (u1 <= 1e-300) u1 = uniform_real();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  // Centered binomial distribution with parameter eta: sum of eta coin
+  // differences, range [-eta, eta].  This is the RLWE noise distribution
+  // used by the HE key generation / encryption (eta = 2 approximates a
+  // discrete Gaussian with sigma ~ 1, eta = 10 gives sigma ~ 2.24).
+  std::int64_t cbd(int eta) {
+    std::int64_t acc = 0;
+    int produced = 0;
+    while (produced < eta) {
+      std::uint64_t bits = next();
+      const int take = std::min(32, eta - produced);
+      for (int i = 0; i < take; ++i) {
+        acc += static_cast<std::int64_t>(bits & 1);
+        acc -= static_cast<std::int64_t>((bits >> 1) & 1);
+        bits >>= 2;
+      }
+      produced += take;
+    }
+    return acc;
+  }
+
+  // Fills `out` with uniform residues modulo `modulus`.
+  void fill_uniform_mod(std::vector<std::uint64_t>& out,
+                        std::uint64_t modulus) {
+    for (auto& v : out) v = uniform(modulus);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace primer

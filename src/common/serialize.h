@@ -1,0 +1,124 @@
+// Byte-level serialization used by the simulated network channel.
+//
+// Every protocol message (ciphertexts, garbled tables, secret shares, wire
+// labels) is flattened through ByteWriter/ByteReader so the channel can
+// account for the exact number of bytes a real deployment would transmit —
+// the paper's "Message GB" column in Table III is derived from these counts.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace primer {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void u32(std::uint32_t v) { append(&v, sizeof v); }
+
+  void u64(std::uint64_t v) { append(&v, sizeof v); }
+
+  void i64(std::int64_t v) { append(&v, sizeof v); }
+
+  void f64(double v) { append(&v, sizeof v); }
+
+  void bytes(const void* data, std::size_t n) { append(data, n); }
+
+  void vec_u64(const std::vector<std::uint64_t>& v) {
+    u64(v.size());
+    if (!v.empty()) append(v.data(), v.size() * sizeof(std::uint64_t));
+  }
+
+  void vec_i64(const std::vector<std::int64_t>& v) {
+    u64(v.size());
+    if (!v.empty()) append(v.data(), v.size() * sizeof(std::int64_t));
+  }
+
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::size_t size() const { return buf_.size(); }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  void append(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+  std::uint8_t u8() {
+    check(1);
+    return buf_[pos_++];
+  }
+
+  std::uint32_t u32() {
+    std::uint32_t v;
+    extract(&v, sizeof v);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    std::uint64_t v;
+    extract(&v, sizeof v);
+    return v;
+  }
+
+  std::int64_t i64() {
+    std::int64_t v;
+    extract(&v, sizeof v);
+    return v;
+  }
+
+  double f64() {
+    double v;
+    extract(&v, sizeof v);
+    return v;
+  }
+
+  void bytes(void* out, std::size_t n) { extract(out, n); }
+
+  std::vector<std::uint64_t> vec_u64() {
+    const auto n = u64();
+    std::vector<std::uint64_t> v(n);
+    if (n) extract(v.data(), n * sizeof(std::uint64_t));
+    return v;
+  }
+
+  std::vector<std::int64_t> vec_i64() {
+    const auto n = u64();
+    std::vector<std::int64_t> v(n);
+    if (n) extract(v.data(), n * sizeof(std::int64_t));
+    return v;
+  }
+
+  bool done() const { return pos_ == buf_.size(); }
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  void check(std::size_t n) const {
+    if (pos_ + n > buf_.size()) {
+      throw std::out_of_range("ByteReader: truncated message (" +
+                              std::to_string(n) + " bytes past end)");
+    }
+  }
+
+  void extract(void* out, std::size_t n) {
+    check(n);
+    std::memcpy(out, buf_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace primer

@@ -1,0 +1,83 @@
+// Wall-clock timing helpers plus the CostAccumulator that every protocol
+// phase reports into.  Benchmarks combine measured compute seconds with the
+// channel's simulated network seconds to reproduce the paper's
+// offline/online latency split.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace primer {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+// Named accumulation of compute seconds and primitive-operation counts,
+// keyed by phase ("offline" / "online") and step name ("embed", "qkv",
+// "qk", "softmax", "attn_v", "others" — the columns of Table II).
+struct PhaseCost {
+  double compute_seconds = 0.0;
+  double network_seconds = 0.0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t he_mults = 0;       // ciphertext x plaintext
+  std::uint64_t he_ct_mults = 0;    // ciphertext x ciphertext
+  std::uint64_t he_rotations = 0;
+  std::uint64_t he_adds = 0;
+  std::uint64_t gc_and_gates = 0;
+
+  double total_seconds() const { return compute_seconds + network_seconds; }
+
+  PhaseCost& operator+=(const PhaseCost& o) {
+    compute_seconds += o.compute_seconds;
+    network_seconds += o.network_seconds;
+    bytes_sent += o.bytes_sent;
+    rounds += o.rounds;
+    he_mults += o.he_mults;
+    he_ct_mults += o.he_ct_mults;
+    he_rotations += o.he_rotations;
+    he_adds += o.he_adds;
+    gc_and_gates += o.gc_and_gates;
+    return *this;
+  }
+};
+
+class CostAccumulator {
+ public:
+  PhaseCost& at(const std::string& phase, const std::string& step) {
+    return costs_[phase][step];
+  }
+
+  const std::map<std::string, std::map<std::string, PhaseCost>>& all() const {
+    return costs_;
+  }
+
+  PhaseCost phase_total(const std::string& phase) const {
+    PhaseCost total;
+    auto it = costs_.find(phase);
+    if (it == costs_.end()) return total;
+    for (const auto& [step, cost] : it->second) total += cost;
+    return total;
+  }
+
+  void clear() { costs_.clear(); }
+
+ private:
+  std::map<std::string, std::map<std::string, PhaseCost>> costs_;
+};
+
+}  // namespace primer

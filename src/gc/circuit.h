@@ -1,0 +1,119 @@
+// Boolean circuit representation and builder.
+//
+// Circuits use only XOR / AND / NOT so that free-XOR + half-gates garbling
+// applies: XOR and NOT cost nothing, each AND costs two 128-bit ciphertexts
+// in the garbled table.  The builder provides the arithmetic blocks the
+// Primer protocols need — ripple adders, comparators, multiplexers,
+// multipliers, dividers, and the modular-reduction adder the paper describes
+// ("a modular operation circuit is implemented by an adder and a
+// multiplexer").
+//
+// Bit buses are little-endian: bus[0] is the least significant bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace primer {
+
+enum class GateType : std::uint8_t { kXor, kAnd, kNot };
+
+struct Gate {
+  GateType type;
+  std::int32_t a = -1;
+  std::int32_t b = -1;  // unused for NOT
+  std::int32_t out = -1;
+};
+
+struct Circuit {
+  std::int32_t num_wires = 0;
+  std::int32_t num_inputs = 0;  // wires [0, num_inputs) are circuit inputs
+  std::vector<Gate> gates;
+  std::vector<std::int32_t> outputs;
+
+  std::size_t and_count() const {
+    std::size_t c = 0;
+    for (const auto& g : gates) c += (g.type == GateType::kAnd);
+    return c;
+  }
+};
+
+// Plain (non-garbled) evaluation — the reference semantics every garbling
+// test checks against.
+std::vector<bool> eval_circuit(const Circuit& c,
+                               const std::vector<bool>& inputs);
+
+using Bus = std::vector<std::int32_t>;
+
+class CircuitBuilder {
+ public:
+  CircuitBuilder();
+
+  // --- wires ---------------------------------------------------------------
+  std::int32_t add_input();
+  Bus add_input_bus(std::size_t width);
+  std::int32_t zero();
+  std::int32_t one();
+  Bus constant_bus(std::uint64_t value, std::size_t width);
+
+  // --- gates (with constant folding) ----------------------------------------
+  std::int32_t xor_gate(std::int32_t a, std::int32_t b);
+  std::int32_t and_gate(std::int32_t a, std::int32_t b);
+  std::int32_t not_gate(std::int32_t a);
+  std::int32_t or_gate(std::int32_t a, std::int32_t b);
+  std::int32_t mux_bit(std::int32_t sel, std::int32_t t, std::int32_t f);
+
+  // --- arithmetic ------------------------------------------------------------
+  // r = a + b (widths must match); carry_out optionally written.
+  Bus add(const Bus& a, const Bus& b, std::int32_t* carry_out = nullptr);
+  // r = a - b; borrow_out = 1 iff a < b (unsigned).
+  Bus sub(const Bus& a, const Bus& b, std::int32_t* borrow_out = nullptr);
+  Bus negate(const Bus& a);  // two's complement
+  Bus add_const(const Bus& a, std::uint64_t c, std::int32_t* carry_out = nullptr);
+  Bus sub_const(const Bus& a, std::uint64_t c, std::int32_t* borrow_out = nullptr);
+
+  // Unsigned comparisons.
+  std::int32_t lt(const Bus& a, const Bus& b);   // a < b
+  std::int32_t ge(const Bus& a, const Bus& b);   // a >= b
+  std::int32_t eq(const Bus& a, const Bus& b);
+  std::int32_t ge_const(const Bus& a, std::uint64_t c);
+
+  // sel ? t : f, element-wise.
+  Bus mux(std::int32_t sel, const Bus& t, const Bus& f);
+
+  // Schoolbook multiply, truncated to out_width bits.
+  Bus mul(const Bus& a, const Bus& b, std::size_t out_width);
+
+  // Restoring unsigned division: quotient of a / b, width of a.
+  Bus div(const Bus& a, const Bus& b);
+
+  // Width manipulation (free).
+  Bus zero_extend(const Bus& a, std::size_t width);
+  Bus sign_extend(const Bus& a, std::size_t width);
+  Bus truncate_bus(const Bus& a, std::size_t width);
+  // Arithmetic shift right by constant (fixed-point truncation) — free.
+  Bus asr(const Bus& a, std::size_t shift);
+
+  // --- modular arithmetic (shares live in Z_p, p < 2^w) -----------------------
+  // (a + b) mod p, both inputs already reduced.
+  Bus add_mod(const Bus& a, const Bus& b, std::uint64_t p);
+  // (a - b) mod p.
+  Bus sub_mod(const Bus& a, const Bus& b, std::uint64_t p);
+
+  // --- finalize ---------------------------------------------------------------
+  void set_outputs(const Bus& bus);
+  void append_outputs(const Bus& bus);
+  Circuit build();
+
+  std::size_t and_count() const { return and_count_; }
+
+ private:
+  std::int32_t emit(GateType t, std::int32_t a, std::int32_t b);
+
+  Circuit circuit_;
+  std::int32_t zero_wire_ = -1;
+  std::int32_t one_wire_ = -1;
+  std::size_t and_count_ = 0;
+};
+
+}  // namespace primer

@@ -1,0 +1,421 @@
+#include "gc/fixed_circuits.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace primer {
+
+namespace {
+
+// Signed comparison via subtraction sign (buses must be wide enough that
+// x - y cannot overflow, which holds for all 15-bit payloads in >= 17-bit
+// buses used here).
+std::int32_t lt_signed(CircuitBuilder& b, const Bus& x, const Bus& y) {
+  const Bus d = b.sub(x, y);
+  return d.back();
+}
+
+Bus shift_left(CircuitBuilder& b, const Bus& a, std::size_t k) {
+  Bus out(a.size(), b.zero());
+  for (std::size_t i = k; i < a.size(); ++i) out[i] = a[i - k];
+  return out;
+}
+
+// PWL table shared by circuit construction and the int64 reference.  Slopes
+// carry kSlopeExtraBits more fractional precision than the value format so
+// slope-quantization error does not dominate the approximation error.
+constexpr int kSlopeExtraBits = 6;
+
+struct PwlTable {
+  std::int64_t lo_raw = 0;
+  std::int64_t hi_raw = 0;
+  std::size_t seg_shift = 0;  // log2 of raw segment width
+  std::vector<std::int64_t> slope_raw;       // frac + kSlopeExtraBits bits
+  std::vector<std::int64_t> intercept_raw;   // frac bits
+};
+
+PwlTable make_pwl_table(const PwlSpec& spec, const FixedPointFormat& fmt) {
+  PwlTable tb;
+  tb.lo_raw = fp_encode(spec.lo, fmt);
+  tb.hi_raw = fp_encode(spec.hi, fmt);
+  const std::int64_t range = tb.hi_raw - tb.lo_raw;
+  if (range <= 0 || (range & (range - 1)) != 0) {
+    throw std::invalid_argument(
+        "PwlSpec: (hi-lo)*scale must be a positive power of two");
+  }
+  int range_log2 = 0;
+  while ((std::int64_t{1} << range_log2) < range) ++range_log2;
+  if (spec.segments_log2 > range_log2) {
+    throw std::invalid_argument("PwlSpec: more segments than raw steps");
+  }
+  tb.seg_shift = static_cast<std::size_t>(range_log2 - spec.segments_log2);
+  const std::size_t segs = std::size_t{1} << spec.segments_log2;
+  const std::int64_t seg_raw = range >> spec.segments_log2;
+  for (std::size_t s = 0; s < segs; ++s) {
+    const std::int64_t a_raw = tb.lo_raw + static_cast<std::int64_t>(s) * seg_raw;
+    const std::int64_t b_raw = a_raw + seg_raw;
+    const double a = fp_decode(a_raw, fmt);
+    const double bx = fp_decode(b_raw, fmt);
+    const double fa = spec.fn(a);
+    const double fb = spec.fn(bx);
+    const double slope = (fb - fa) / (bx - a);
+    const double intercept = fa - slope * a;
+    const double slope_scale =
+        static_cast<double>(std::int64_t{1} << (fmt.frac_bits + kSlopeExtraBits));
+    tb.slope_raw.push_back(
+        static_cast<std::int64_t>(std::nearbyint(slope * slope_scale)));
+    tb.intercept_raw.push_back(fp_encode(intercept, fmt));
+  }
+  return tb;
+}
+
+// Binary mux tree selecting a constant by index bits (LSB-first).
+Bus select_constant(CircuitBuilder& b, const Bus& idx_bits,
+                    const std::vector<std::int64_t>& values, std::size_t width,
+                    std::size_t base, std::size_t count) {
+  if (count == 1) {
+    // Two's-complement constant, truncated to `width` bits.
+    return b.constant_bus(static_cast<std::uint64_t>(values[base]), width);
+  }
+  const std::size_t half = count / 2;
+  Bus idx_rest(idx_bits.begin(), idx_bits.end() - 1);
+  const Bus low = select_constant(b, idx_rest, values, width, base, half);
+  const Bus high =
+      select_constant(b, idx_rest, values, width, base + half, half);
+  return b.mux(idx_bits.back(), high, low);
+}
+
+SignedBus clamp15(CircuitBuilder& b, const SignedBus& v,
+                  const FixedPointFormat& fmt) {
+  const std::size_t w = v.bits.size();
+  const Bus maxc = b.constant_bus(static_cast<std::uint64_t>(fmt.max_raw()), w);
+  const Bus minc = b.constant_bus(static_cast<std::uint64_t>(fmt.min_raw()), w);
+  Bus r = b.mux(lt_signed(b, maxc, v.bits), maxc, v.bits);
+  r = b.mux(lt_signed(b, r, minc), minc, r);
+  return SignedBus{r};
+}
+
+std::int64_t clamp15_ref(std::int64_t v, const FixedPointFormat& fmt) {
+  return fp_saturate(v, fmt);
+}
+
+}  // namespace
+
+double gelu_double(double x) {
+  return 0.5 * x * (1.0 + std::erf(x / std::sqrt(2.0)));
+}
+
+PwlSpec layernorm_rsqrt_spec() {
+  // 1/sqrt over (0, 16) with the singularity clamped at 1/64; 64 segments.
+  return PwlSpec{0.0, 16.0, 6, [](double x) {
+                   return 1.0 / std::sqrt(std::max(x, 1.0 / 64.0));
+                 }};
+}
+
+std::size_t share_width(std::uint64_t t) {
+  std::size_t w = 0;
+  while ((std::uint64_t{1} << w) < t) ++w;
+  return w;
+}
+
+SignedBus reconstruct_centered(CircuitBuilder& b, const Bus& sa, const Bus& sb,
+                               std::uint64_t t) {
+  const Bus x = b.add_mod(sa, sb, t);
+  const std::size_t sw = x.size() + 1;
+  const Bus x_ext = b.zero_extend(x, sw);
+  // Negative iff x > t/2 (fp_from_ring convention).
+  const std::int32_t is_neg = b.ge_const(x_ext, t / 2 + 1);
+  const Bus x_minus_t = b.sub_const(x_ext, t);  // wraps to two's complement
+  return SignedBus{b.mux(is_neg, x_minus_t, x_ext)};
+}
+
+Bus embed_mod_t(CircuitBuilder& b, const SignedBus& v, std::uint64_t t) {
+  const std::int32_t neg = v.bits.back();
+  const Bus plus_t = b.add_const(v.bits, t);
+  const std::size_t w = share_width(t);
+  return b.truncate_bus(b.mux(neg, plus_t, v.bits), w);
+}
+
+SignedBus truncate_frac(CircuitBuilder& b, const SignedBus& v,
+                        std::size_t frac_bits) {
+  return SignedBus{b.asr(v.bits, frac_bits)};
+}
+
+SignedBus relu_signed(CircuitBuilder& b, const SignedBus& v) {
+  const Bus zero = b.constant_bus(0, v.bits.size());
+  return SignedBus{b.mux(v.bits.back(), zero, v.bits)};
+}
+
+SignedBus max_signed(CircuitBuilder& b, const SignedBus& x,
+                     const SignedBus& y) {
+  const std::int32_t x_lt_y = lt_signed(b, x.bits, y.bits);
+  return SignedBus{b.mux(x_lt_y, y.bits, x.bits)};
+}
+
+SignedBus pwl_apply(CircuitBuilder& b, const SignedBus& x, const PwlSpec& spec,
+                    const FixedPointFormat& fmt) {
+  const PwlTable tb = make_pwl_table(spec, fmt);
+  const std::size_t sw = x.bits.size();
+  // Clamp into [lo, hi].
+  const Bus lo_bus = b.constant_bus(static_cast<std::uint64_t>(tb.lo_raw), sw);
+  // Clamp to hi-1 ulp so x == hi cannot index one past the last segment.
+  const Bus hi_bus =
+      b.constant_bus(static_cast<std::uint64_t>(tb.hi_raw - 1), sw);
+  Bus xc = b.mux(lt_signed(b, x.bits, lo_bus), lo_bus, x.bits);
+  xc = b.mux(lt_signed(b, hi_bus, xc), hi_bus, xc);
+  // Segment index = bits [seg_shift, seg_shift + k) of (xc - lo).
+  const Bus off = b.sub(xc, lo_bus);  // non-negative, < range
+  Bus idx;
+  for (int i = 0; i < spec.segments_log2; ++i) {
+    idx.push_back(off[tb.seg_shift + static_cast<std::size_t>(i)]);
+  }
+  // Widen so the (value x slope) product cannot overflow: payload bits +
+  // slope bits + sign headroom.
+  const std::size_t pw = sw + fmt.frac_bits + kSlopeExtraBits + 2;
+  const std::size_t segs = tb.slope_raw.size();
+  const Bus slope = select_constant(b, idx, tb.slope_raw, pw, 0, segs);
+  const Bus intercept = select_constant(b, idx, tb.intercept_raw, pw, 0, segs);
+  // y = (x * slope) >> (frac + extra) + intercept, signed mod-2^pw.
+  Bus prod = b.mul(b.sign_extend(xc, pw), slope, pw);
+  prod = b.asr(prod, static_cast<std::size_t>(fmt.frac_bits + kSlopeExtraBits));
+  const Bus y = b.add(prod, intercept);
+  // Truncate back to the caller's bus width — safe because the PWL output
+  // fits the 15-bit value format, far below 2^{sw-1}.
+  return SignedBus{b.truncate_bus(y, sw)};
+}
+
+std::int64_t pwl_reference(std::int64_t x_raw, const PwlSpec& spec,
+                           const FixedPointFormat& fmt) {
+  const PwlTable tb = make_pwl_table(spec, fmt);
+  std::int64_t xc = std::clamp(x_raw, tb.lo_raw, tb.hi_raw - 1);
+  const std::size_t seg =
+      static_cast<std::size_t>((xc - tb.lo_raw) >> tb.seg_shift) &
+      (tb.slope_raw.size() - 1);
+  const std::int64_t prod =
+      (xc * tb.slope_raw[seg]) >> (fmt.frac_bits + kSlopeExtraBits);
+  return prod + tb.intercept_raw[seg];
+}
+
+Circuit make_activation_circuit(const ActivationCircuitSpec& spec) {
+  CircuitBuilder b;
+  const std::size_t w = share_width(spec.t);
+  const Bus sg = b.add_input_bus(w * spec.count);
+  const Bus se = b.add_input_bus(w * spec.count);
+  const Bus rc = b.add_input_bus(w * spec.count);
+
+  for (std::size_t i = 0; i < spec.count; ++i) {
+    const Bus sgi(sg.begin() + static_cast<long>(i * w),
+                  sg.begin() + static_cast<long>((i + 1) * w));
+    const Bus sei(se.begin() + static_cast<long>(i * w),
+                  se.begin() + static_cast<long>((i + 1) * w));
+    const Bus rci(rc.begin() + static_cast<long>(i * w),
+                  rc.begin() + static_cast<long>((i + 1) * w));
+    SignedBus v = reconstruct_centered(b, sgi, sei, spec.t);
+    if (spec.frac_shift > 0) v = truncate_frac(b, v, spec.frac_shift);
+    v = clamp15(b, v, spec.fmt);
+    switch (spec.act) {
+      case Activation::kIdentity:
+        break;
+      case Activation::kRelu:
+        v = relu_signed(b, v);
+        break;
+      case Activation::kGelu: {
+        PwlSpec pwl{-4.0, 4.0, 5, &gelu_double};
+        SignedBus g = pwl_apply(b, v, pwl, spec.fmt);
+        // Above the PWL range GELU(x) = x.
+        const Bus hi =
+            b.constant_bus(static_cast<std::uint64_t>(fp_encode(4.0, spec.fmt)),
+                           v.bits.size());
+        const std::int32_t above = lt_signed(b, hi, v.bits);
+        v = SignedBus{b.mux(above, v.bits, g.bits)};
+        break;
+      }
+    }
+    const Bus masked = b.sub_mod(embed_mod_t(b, v, spec.t), rci, spec.t);
+    b.append_outputs(masked);
+  }
+  return b.build();
+}
+
+std::int64_t activation_reference(std::int64_t x_raw, std::size_t frac_shift,
+                                  Activation act,
+                                  const FixedPointFormat& fmt) {
+  std::int64_t v = x_raw >> frac_shift;
+  v = clamp15_ref(v, fmt);
+  switch (act) {
+    case Activation::kIdentity:
+      return v;
+    case Activation::kRelu:
+      return v < 0 ? 0 : v;
+    case Activation::kGelu: {
+      PwlSpec pwl{-4.0, 4.0, 5, &gelu_double};
+      if (v > fp_encode(4.0, fmt)) return v;
+      return pwl_reference(v, pwl, fmt);
+    }
+  }
+  return v;
+}
+
+Circuit make_softmax_circuit(const SoftmaxCircuitSpec& spec) {
+  CircuitBuilder b;
+  const std::size_t w = share_width(spec.t);
+  const std::size_t n = spec.count;
+  const Bus sg = b.add_input_bus(w * n);
+  const Bus se = b.add_input_bus(w * n);
+  const Bus rc = b.add_input_bus(w * n);
+
+  std::vector<SignedBus> vals;
+  vals.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Bus sgi(sg.begin() + static_cast<long>(i * w),
+                  sg.begin() + static_cast<long>((i + 1) * w));
+    const Bus sei(se.begin() + static_cast<long>(i * w),
+                  se.begin() + static_cast<long>((i + 1) * w));
+    SignedBus v = reconstruct_centered(b, sgi, sei, spec.t);
+    if (spec.frac_shift > 0) v = truncate_frac(b, v, spec.frac_shift);
+    v = clamp15(b, v, spec.fmt);
+    vals.push_back(v);
+  }
+
+  // Row max for numerical stability of the PWL exp.
+  SignedBus m = vals[0];
+  for (std::size_t i = 1; i < n; ++i) m = max_signed(b, m, vals[i]);
+
+  const PwlSpec exp_spec{-8.0, 0.0, spec.exp_segments_log2,
+                         [](double x) { return std::exp(x); }};
+  std::vector<Bus> exps;
+  exps.reserve(n);
+  const std::size_t sw = vals[0].bits.size();
+  Bus sum = b.constant_bus(0, sw);
+  for (std::size_t i = 0; i < n; ++i) {
+    const SignedBus d{b.sub(vals[i].bits, m.bits)};
+    SignedBus e = pwl_apply(b, d, exp_spec, spec.fmt);
+    // exp output is non-negative by construction of the table, but the PWL
+    // arithmetic can undershoot by an ulp near -8; clamp at zero.
+    e = relu_signed(b, e);
+    exps.push_back(e.bits);
+    sum = b.add(sum, e.bits);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Bus rci(rc.begin() + static_cast<long>(i * w),
+                  rc.begin() + static_cast<long>((i + 1) * w));
+    // out = (e_i << frac) / sum — exact fixed-point normalization.
+    const Bus dividend =
+        shift_left(b, exps[i], static_cast<std::size_t>(spec.fmt.frac_bits));
+    const Bus q = b.div(dividend, sum);
+    const Bus masked = b.sub_mod(embed_mod_t(b, SignedBus{q}, spec.t), rci,
+                                 spec.t);
+    b.append_outputs(masked);
+  }
+  return b.build();
+}
+
+SignedBus sdiv_const(CircuitBuilder& b, const SignedBus& v, std::uint64_t d) {
+  // |v| / d with truncation toward zero, then sign restoration — matching
+  // C++ integer division semantics used by the fixed reference.
+  const std::int32_t neg = v.bits.back();
+  const Bus abs_v = b.mux(neg, b.negate(v.bits), v.bits);
+  const Bus q = b.div(abs_v, b.constant_bus(d, v.bits.size()));
+  return SignedBus{b.mux(neg, b.negate(q), q)};
+}
+
+Circuit make_layernorm_circuit(const LayerNormCircuitSpec& spec) {
+  CircuitBuilder b;
+  const std::size_t w = share_width(spec.t);
+  const std::size_t d = spec.d;
+  const Bus acc_g = b.add_input_bus(w * d);
+  const Bus res_g = b.add_input_bus(w * d);
+  const Bus acc_e = b.add_input_bus(w * d);
+  const Bus res_e = b.add_input_bus(w * d);
+  const Bus rc = b.add_input_bus(w * d);
+
+  auto slice = [&](const Bus& bus, std::size_t i) {
+    return Bus(bus.begin() + static_cast<long>(i * w),
+               bus.begin() + static_cast<long>((i + 1) * w));
+  };
+
+  // Reconstruct s_i = saturate(residual + truncate(acc)).
+  std::vector<SignedBus> s(d);
+  const std::size_t sw = w + 1;
+  for (std::size_t i = 0; i < d; ++i) {
+    SignedBus acc = reconstruct_centered(b, slice(acc_g, i), slice(acc_e, i),
+                                         spec.t);
+    if (spec.frac_shift > 0) acc = truncate_frac(b, acc, spec.frac_shift);
+    acc = clamp15(b, acc, spec.fmt);
+    const SignedBus res = reconstruct_centered(b, slice(res_g, i),
+                                               slice(res_e, i), spec.t);
+    SignedBus sum{b.add(acc.bits, res.bits)};
+    s[i] = clamp15(b, sum, spec.fmt);
+  }
+
+  // Row statistics.  Values are 15-bit; sums fit in sw + log2(d) bits.
+  Bus total = b.sign_extend(s[0].bits, sw + 8);
+  for (std::size_t i = 1; i < d; ++i) {
+    total = b.add(total, b.sign_extend(s[i].bits, sw + 8));
+  }
+  const SignedBus mean = sdiv_const(b, SignedBus{total}, d);
+
+  // Centered values and variance.  c_i fits 17 bits; narrow before squaring.
+  const std::size_t cw = 18;
+  std::vector<Bus> c(d);
+  Bus var_sum = b.constant_bus(0, sw + 8);
+  for (std::size_t i = 0; i < d; ++i) {
+    const Bus diff =
+        b.sub(b.sign_extend(s[i].bits, sw + 8), mean.bits);
+    c[i] = b.truncate_bus(diff, cw);
+    const Bus sq = b.mul(b.sign_extend(c[i], 2 * cw), b.sign_extend(c[i], 2 * cw),
+                         2 * cw);
+    const Bus sq_shift = b.asr(sq, static_cast<std::size_t>(spec.fmt.frac_bits));
+    var_sum = b.add(var_sum, b.sign_extend(sq_shift, sw + 8));
+  }
+  const SignedBus var = sdiv_const(b, SignedBus{var_sum}, d);
+  SignedBus rstd = pwl_apply(b, SignedBus{b.truncate_bus(var.bits, sw)},
+                             layernorm_rsqrt_spec(), spec.fmt);
+
+  // Per-element affine output, masked.
+  for (std::size_t i = 0; i < d; ++i) {
+    const std::size_t mw = cw + 16;
+    Bus norm = b.mul(b.sign_extend(c[i], mw), b.sign_extend(rstd.bits, mw), mw);
+    norm = b.asr(norm, static_cast<std::size_t>(spec.fmt.frac_bits));
+    SignedBus n15 = clamp15(b, SignedBus{norm}, spec.fmt);
+    Bus scaled = b.mul(
+        n15.bits,
+        b.constant_bus(static_cast<std::uint64_t>(spec.gamma[i]), mw), mw);
+    scaled = b.asr(scaled, static_cast<std::size_t>(spec.fmt.frac_bits));
+    Bus out = b.add(
+        scaled, b.constant_bus(static_cast<std::uint64_t>(spec.beta[i]), mw));
+    SignedBus o15 = clamp15(b, SignedBus{out}, spec.fmt);
+    const SignedBus widened{b.sign_extend(o15.bits, sw)};
+    const Bus masked =
+        b.sub_mod(embed_mod_t(b, widened, spec.t), slice(rc, i), spec.t);
+    b.append_outputs(masked);
+  }
+  return b.build();
+}
+
+std::vector<std::int64_t> fixed_softmax_reference(
+    const std::vector<std::int64_t>& x, std::size_t frac_shift,
+    const FixedPointFormat& fmt, int exp_segments_log2) {
+  std::vector<std::int64_t> v(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    v[i] = clamp15_ref(x[i] >> frac_shift, fmt);
+  }
+  std::int64_t m = v[0];
+  for (const auto val : v) m = std::max(m, val);
+  const PwlSpec exp_spec{-8.0, 0.0, exp_segments_log2,
+                         [](double y) { return std::exp(y); }};
+  std::vector<std::int64_t> e(v.size());
+  std::int64_t sum = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    e[i] = std::max<std::int64_t>(0, pwl_reference(v[i] - m, exp_spec, fmt));
+    sum += e[i];
+  }
+  std::vector<std::int64_t> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out[i] = (e[i] << fmt.frac_bits) / sum;
+  }
+  return out;
+}
+
+}  // namespace primer

@@ -1,0 +1,140 @@
+#include "gc/garble.h"
+
+#include <stdexcept>
+
+namespace primer {
+
+namespace {
+
+const FixedKeyAes& garbling_hash() {
+  static const FixedKeyAes aes;
+  return aes;
+}
+
+Label random_label(Rng& rng) { return Label{rng.next(), rng.next()}; }
+
+}  // namespace
+
+GarbledCircuit Garbler::garble(const Circuit& c) const {
+  const FixedKeyAes& aes = garbling_hash();
+  GarbledCircuit gc;
+  gc.delta = random_label(rng_);
+  gc.delta.lo |= 1;  // point-and-permute: lsb(R) = 1
+
+  std::vector<Label> w0(static_cast<std::size_t>(c.num_wires));
+  for (std::int32_t i = 0; i < c.num_inputs; ++i) {
+    w0[i] = random_label(rng_);
+  }
+
+  std::uint64_t gate_index = 0;
+  for (const auto& g : c.gates) {
+    switch (g.type) {
+      case GateType::kXor:
+        w0[g.out] = w0[g.a] ^ w0[g.b];
+        break;
+      case GateType::kNot:
+        // Output false label = input true label; evaluator passes the label
+        // through unchanged and the garbler's bookkeeping flips semantics.
+        w0[g.out] = w0[g.a] ^ gc.delta;
+        break;
+      case GateType::kAnd: {
+        const Label a0 = w0[g.a];
+        const Label a1 = a0 ^ gc.delta;
+        const Label b0 = w0[g.b];
+        const Label b1 = b0 ^ gc.delta;
+        const bool pa = a0.lsb();
+        const bool pb = b0.lsb();
+        const std::uint64_t j0 = 2 * gate_index + 1;
+        const std::uint64_t j1 = 2 * gate_index + 2;
+        // Garbler half: TG = H(A0,j0) ^ H(A1,j0) ^ (pb ? R : 0).
+        const Label ha0 = aes.hash(a0, j0);
+        const Label ha1 = aes.hash(a1, j0);
+        Label tg = ha0 ^ ha1;
+        if (pb) tg ^= gc.delta;
+        Label wg = ha0;
+        if (pa) wg ^= tg;
+        // Evaluator half: TE = H(B0,j1) ^ H(B1,j1) ^ A0.
+        const Label hb0 = aes.hash(b0, j1);
+        const Label hb1 = aes.hash(b1, j1);
+        const Label te = hb0 ^ hb1 ^ a0;
+        Label we = hb0;
+        if (pb) we ^= te ^ a0;
+        w0[g.out] = wg ^ we;
+        gc.table.rows.push_back(tg);
+        gc.table.rows.push_back(te);
+        ++gate_index;
+        break;
+      }
+    }
+  }
+
+  gc.input_labels0.assign(w0.begin(), w0.begin() + c.num_inputs);
+  gc.output_labels0.reserve(c.outputs.size());
+  for (const auto out : c.outputs) gc.output_labels0.push_back(w0[out]);
+  return gc;
+}
+
+std::vector<Label> GcEvaluator::eval(const Circuit& c,
+                                     const GarbledTable& table,
+                                     const std::vector<Label>& active_inputs) {
+  if (static_cast<std::int32_t>(active_inputs.size()) != c.num_inputs) {
+    throw std::invalid_argument("GcEvaluator::eval: wrong input count");
+  }
+  const FixedKeyAes& aes = garbling_hash();
+  std::vector<Label> w(static_cast<std::size_t>(c.num_wires));
+  for (std::size_t i = 0; i < active_inputs.size(); ++i) w[i] = active_inputs[i];
+
+  std::uint64_t gate_index = 0;
+  std::size_t row = 0;
+  for (const auto& g : c.gates) {
+    switch (g.type) {
+      case GateType::kXor:
+        w[g.out] = w[g.a] ^ w[g.b];
+        break;
+      case GateType::kNot:
+        w[g.out] = w[g.a];
+        break;
+      case GateType::kAnd: {
+        const Label a = w[g.a];
+        const Label b = w[g.b];
+        const bool sa = a.lsb();
+        const bool sb = b.lsb();
+        const std::uint64_t j0 = 2 * gate_index + 1;
+        const std::uint64_t j1 = 2 * gate_index + 2;
+        const Label tg = table.rows[row];
+        const Label te = table.rows[row + 1];
+        Label wg = aes.hash(a, j0);
+        if (sa) wg ^= tg;
+        Label we = aes.hash(b, j1);
+        if (sb) we ^= te ^ a;
+        w[g.out] = wg ^ we;
+        row += 2;
+        ++gate_index;
+        break;
+      }
+    }
+  }
+
+  std::vector<Label> out;
+  out.reserve(c.outputs.size());
+  for (const auto o : c.outputs) out.push_back(w[o]);
+  return out;
+}
+
+std::vector<bool> garbled_eval(const Circuit& c,
+                               const std::vector<bool>& inputs, Rng& rng) {
+  Garbler garbler(rng);
+  const GarbledCircuit gc = garbler.garble(c);
+  std::vector<Label> active(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    active[i] = Garbler::active_input(gc, i, inputs[i]);
+  }
+  const auto out_labels = GcEvaluator::eval(c, gc.table, active);
+  std::vector<bool> out(out_labels.size());
+  for (std::size_t i = 0; i < out_labels.size(); ++i) {
+    out[i] = Garbler::decode_output(gc, i, out_labels[i]);
+  }
+  return out;
+}
+
+}  // namespace primer

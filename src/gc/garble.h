@@ -1,0 +1,75 @@
+// Half-gates garbling (Zahur–Rosulek–Evans 2015) with free-XOR and
+// point-and-permute, over the fixed-key AES hash.
+//
+//   XOR: free.  NOT: free (label relabeling).  AND: two ciphertexts
+//   (garbler half TG, evaluator half TE), one AES hash pair per side.
+//
+// The garbler samples a global offset R with lsb(R) = 1; wire labels are
+// (W, W ^ R) and the lsb is the permute bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "gc/aes.h"
+#include "gc/circuit.h"
+
+namespace primer {
+
+using Label = Block;
+
+struct GarbledTable {
+  // Two ciphertexts per AND gate, in gate order.
+  std::vector<Label> rows;
+
+  std::size_t byte_size() const { return rows.size() * sizeof(Label); }
+};
+
+struct GarbledCircuit {
+  GarbledTable table;
+  // False label of every input wire (garbler-private).
+  std::vector<Label> input_labels0;
+  // False label of every output wire (garbler-private; lsb is the decode bit).
+  std::vector<Label> output_labels0;
+  Label delta;  // global offset R (garbler-private)
+};
+
+class Garbler {
+ public:
+  explicit Garbler(Rng& rng) : rng_(rng) {}
+
+  GarbledCircuit garble(const Circuit& c) const;
+
+  // Active label for an input wire given its plaintext bit.
+  static Label active_input(const GarbledCircuit& gc, std::size_t wire,
+                            bool bit) {
+    Label l = gc.input_labels0[wire];
+    if (bit) l ^= gc.delta;
+    return l;
+  }
+
+  // Decode an active output label to its plaintext bit.
+  static bool decode_output(const GarbledCircuit& gc, std::size_t out_index,
+                            const Label& active) {
+    return active.lsb() != gc.output_labels0[out_index].lsb();
+  }
+
+ private:
+  Rng& rng_;
+};
+
+class GcEvaluator {
+ public:
+  // Evaluates the garbled circuit given active labels for all inputs;
+  // returns active labels of the outputs.
+  static std::vector<Label> eval(const Circuit& c, const GarbledTable& table,
+                                 const std::vector<Label>& active_inputs);
+};
+
+// End-to-end helper used by tests: garble, select input labels from plain
+// bits, evaluate, decode.
+std::vector<bool> garbled_eval(const Circuit& c,
+                               const std::vector<bool>& inputs, Rng& rng);
+
+}  // namespace primer

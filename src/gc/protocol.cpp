@@ -1,0 +1,144 @@
+#include "gc/protocol.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace primer {
+
+std::vector<std::uint8_t> pack_bits(const std::vector<bool>& bits) {
+  std::vector<std::uint8_t> out((bits.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) out[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  }
+  return out;
+}
+
+std::vector<bool> unpack_bits(const std::vector<std::uint8_t>& bytes,
+                              std::size_t count) {
+  std::vector<bool> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = (bytes[i / 8] >> (i % 8)) & 1;
+  }
+  return out;
+}
+
+std::vector<bool> value_to_bits(std::uint64_t v, std::size_t width) {
+  std::vector<bool> out(width);
+  for (std::size_t i = 0; i < width; ++i) out[i] = (v >> i) & 1;
+  return out;
+}
+
+std::uint64_t bits_to_value(const std::vector<bool>& bits) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) v |= std::uint64_t{1} << i;
+  }
+  return v;
+}
+
+namespace {
+
+std::vector<std::uint8_t> labels_to_bytes(const std::vector<Label>& labels) {
+  std::vector<std::uint8_t> out(labels.size() * sizeof(Label));
+  std::memcpy(out.data(), labels.data(), out.size());
+  return out;
+}
+
+std::vector<Label> labels_from_bytes(const std::vector<std::uint8_t>& bytes) {
+  std::vector<Label> out(bytes.size() / sizeof(Label));
+  std::memcpy(out.data(), bytes.data(), out.size() * sizeof(Label));
+  return out;
+}
+
+}  // namespace
+
+void GcSession::offline(const Circuit& circuit, RevealTo reveal) {
+  circuit_ = circuit;
+  reveal_ = reveal;
+  Stopwatch sw;
+  Garbler garbler(rng_);
+  gc_ = garbler.garble(circuit_);
+  stats_.garble_seconds += sw.seconds();
+  stats_.and_gates += circuit_.and_count();
+  stats_.table_bytes += gc_.table.byte_size();
+
+  // Ship garbled tables to the evaluator, who parses them from the wire.
+  channel_.send(Party::kServer, labels_to_bytes(gc_.table.rows));
+  client_table_.rows = labels_from_bytes(channel_.recv(Party::kClient));
+  if (reveal == RevealTo::kEvaluator || reveal == RevealTo::kBoth) {
+    // Decode bits: lsb of each output wire's false label.
+    std::vector<bool> decode(gc_.output_labels0.size());
+    for (std::size_t i = 0; i < decode.size(); ++i) {
+      decode[i] = gc_.output_labels0[i].lsb();
+    }
+    channel_.send(Party::kServer, pack_bits(decode));
+    client_decode_ = unpack_bits(channel_.recv(Party::kClient),
+                                 gc_.output_labels0.size());
+  }
+  ot_.setup();  // base-OT traffic is part of the offline phase
+  offline_done_ = true;
+}
+
+std::vector<bool> GcSession::online(const std::vector<bool>& garbler_bits,
+                                    const std::vector<bool>& evaluator_bits) {
+  if (!offline_done_) {
+    throw std::logic_error("GcSession::online before offline");
+  }
+  const std::size_t ng = garbler_bits.size();
+  const std::size_t ne = evaluator_bits.size();
+  if (static_cast<std::int32_t>(ng + ne) != circuit_.num_inputs) {
+    throw std::invalid_argument("GcSession::online: input count mismatch");
+  }
+
+  // Garbler sends active labels for its own inputs.
+  std::vector<Label> active(ng + ne);
+  std::vector<Label> garbler_active(ng);
+  for (std::size_t i = 0; i < ng; ++i) {
+    garbler_active[i] = Garbler::active_input(gc_, i, garbler_bits[i]);
+  }
+  channel_.send(Party::kServer, labels_to_bytes(garbler_active));
+  {
+    const auto received = labels_from_bytes(channel_.recv(Party::kClient));
+    for (std::size_t i = 0; i < ng; ++i) active[i] = received[i];
+  }
+
+  // Evaluator obtains its labels via (simulated, traffic-accounted) OT.
+  std::vector<Label> l0(ne), l1(ne);
+  for (std::size_t i = 0; i < ne; ++i) {
+    l0[i] = gc_.input_labels0[ng + i];
+    l1[i] = l0[i] ^ gc_.delta;
+  }
+  const auto chosen = ot_.transfer(l0, l1, evaluator_bits);
+  for (std::size_t i = 0; i < ne; ++i) active[ng + i] = chosen[i];
+
+  // Evaluate (client side, using the table as received over the wire).
+  Stopwatch sw;
+  const auto out_labels = GcEvaluator::eval(circuit_, client_table_, active);
+  stats_.eval_seconds += sw.seconds();
+
+  // Decode.
+  std::vector<bool> out(out_labels.size());
+  if (reveal_ == RevealTo::kEvaluator || reveal_ == RevealTo::kBoth) {
+    // Evaluator decodes with the decode bits received in the offline phase.
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = out_labels[i].lsb() != client_decode_[i];
+    }
+    if (reveal_ == RevealTo::kBoth) {
+      channel_.send(Party::kClient, pack_bits(out));
+      channel_.recv(Party::kServer);
+    }
+  } else {
+    // Reveal to garbler only: evaluator sends the active lsbs; the garbler
+    // XORs with its stored permute bits.
+    std::vector<bool> lsbs(out.size());
+    for (std::size_t i = 0; i < out.size(); ++i) lsbs[i] = out_labels[i].lsb();
+    channel_.send(Party::kClient, pack_bits(lsbs));
+    channel_.recv(Party::kServer);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = lsbs[i] != gc_.output_labels0[i].lsb();
+    }
+  }
+  return out;
+}
+
+}  // namespace primer

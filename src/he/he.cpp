@@ -1,0 +1,388 @@
+#include "he/he.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace primer {
+
+// ---------------------------------------------------------------------------
+// KeyGenerator
+// ---------------------------------------------------------------------------
+
+KeyGenerator::KeyGenerator(const HeContext& ctx, Rng& rng)
+    : ctx_(ctx), rng_(rng) {
+  RnsPoly s = ctx_.sample_ternary(rng_);
+  ctx_.to_ntt(s);
+  sk_.s = std::move(s);
+}
+
+PublicKey KeyGenerator::make_public_key() {
+  PublicKey pk;
+  RnsPoly a = ctx_.sample_uniform(rng_);
+  ctx_.to_ntt(a);
+  RnsPoly e = ctx_.sample_error(rng_);
+  ctx_.to_ntt(e);
+  ctx_.scalar_multiply_inplace(e, ctx_.t());
+  // b = -(a*s + t*e)
+  RnsPoly b = ctx_.multiply(a, sk_.s);
+  ctx_.add_inplace(b, e);
+  ctx_.negate_inplace(b);
+  pk.a = std::move(a);
+  pk.b = std::move(b);
+  return pk;
+}
+
+KSwitchKey KeyGenerator::make_kswitch_key(const RnsPoly& target_ntt) {
+  // One digit per RNS prime: b_i = -(a_i*s + t*e_i) + P_i * target, where
+  // P_i is 1 mod q_i and 0 mod q_j — so the "+ P_i * target" term touches
+  // only RNS component i.
+  KSwitchKey key;
+  const std::size_t k = ctx_.rns_size();
+  for (std::size_t i = 0; i < k; ++i) {
+    RnsPoly a = ctx_.sample_uniform(rng_);
+    ctx_.to_ntt(a);
+    RnsPoly e = ctx_.sample_error(rng_);
+    ctx_.to_ntt(e);
+    ctx_.scalar_multiply_inplace(e, ctx_.t());
+    RnsPoly b = ctx_.multiply(a, sk_.s);
+    ctx_.add_inplace(b, e);
+    ctx_.negate_inplace(b);
+    // Component i gains target.comp[i].
+    const u64 qi = ctx_.q(i);
+    for (std::size_t j = 0; j < ctx_.degree(); ++j) {
+      b.comp[i][j] = add_mod(b.comp[i][j], target_ntt.comp[i][j], qi);
+    }
+    key.a.push_back(std::move(a));
+    key.b.push_back(std::move(b));
+  }
+  return key;
+}
+
+RelinKey KeyGenerator::make_relin_key() {
+  RelinKey rk;
+  const RnsPoly s2 = ctx_.multiply(sk_.s, sk_.s);
+  rk.key = make_kswitch_key(s2);
+  return rk;
+}
+
+void KeyGenerator::add_galois_key(GaloisKeys& keys, u64 elt) {
+  if (keys.has(elt)) return;
+  // Target key is s(x^elt).
+  RnsPoly s_coeff = sk_.s;
+  ctx_.to_coeff(s_coeff);
+  RnsPoly s_gal;
+  ctx_.apply_galois_coeff(s_coeff, elt, s_gal);
+  ctx_.to_ntt(s_gal);
+  keys.keys.emplace(elt, make_kswitch_key(s_gal));
+}
+
+GaloisKeys KeyGenerator::make_galois_keys(const std::vector<int>& steps,
+                                          bool include_row_swap) {
+  GaloisKeys gk;
+  for (int s : steps) add_galois_key(gk, ctx_.galois_elt_from_step(s));
+  if (include_row_swap) add_galois_key(gk, ctx_.galois_elt_row_swap());
+  return gk;
+}
+
+// ---------------------------------------------------------------------------
+// Encryptor
+// ---------------------------------------------------------------------------
+
+Encryptor::Encryptor(const HeContext& ctx, const SecretKey& sk, Rng& rng)
+    : ctx_(ctx), sk_(&sk), rng_(rng) {}
+
+Encryptor::Encryptor(const HeContext& ctx, const PublicKey& pk, Rng& rng)
+    : ctx_(ctx), pk_(&pk), rng_(rng) {}
+
+Ciphertext Encryptor::encrypt_zero() const {
+  Plaintext zero;
+  zero.coeffs.assign(ctx_.degree(), 0);
+  return encrypt(zero);
+}
+
+Ciphertext Encryptor::encrypt(const Plaintext& pt) const {
+  ++counters_.encryptions;
+  RnsPoly m = ctx_.lift_plaintext(pt);
+  ctx_.to_ntt(m);
+
+  Ciphertext ct;
+  if (sk_ != nullptr) {
+    // Symmetric: c1 = a (uniform), c0 = -(a*s) + t*e + m.
+    RnsPoly a = ctx_.sample_uniform(rng_);
+    ctx_.to_ntt(a);
+    RnsPoly e = ctx_.sample_error(rng_);
+    ctx_.to_ntt(e);
+    ctx_.scalar_multiply_inplace(e, ctx_.t());
+    RnsPoly c0 = ctx_.multiply(a, sk_->s);
+    ctx_.negate_inplace(c0);
+    ctx_.add_inplace(c0, e);
+    ctx_.add_inplace(c0, m);
+    ct.parts.push_back(std::move(c0));
+    ct.parts.push_back(std::move(a));
+    // |t*e| <= t * eta
+    ct.noise_log2 =
+        std::log2(static_cast<double>(ctx_.t())) + std::log2(4.0);
+  } else {
+    // Asymmetric: u ternary; c0 = b*u + t*e0 + m, c1 = a*u + t*e1.
+    RnsPoly u = ctx_.sample_ternary(rng_);
+    ctx_.to_ntt(u);
+    RnsPoly e0 = ctx_.sample_error(rng_);
+    ctx_.to_ntt(e0);
+    ctx_.scalar_multiply_inplace(e0, ctx_.t());
+    RnsPoly e1 = ctx_.sample_error(rng_);
+    ctx_.to_ntt(e1);
+    ctx_.scalar_multiply_inplace(e1, ctx_.t());
+
+    RnsPoly c0 = ctx_.multiply(pk_->b, u);
+    ctx_.add_inplace(c0, e0);
+    ctx_.add_inplace(c0, m);
+    RnsPoly c1 = ctx_.multiply(pk_->a, u);
+    ctx_.add_inplace(c1, e1);
+    ct.parts.push_back(std::move(c0));
+    ct.parts.push_back(std::move(c1));
+    // |t*(e_pk*u + e0 + e1*s)| ~ t * 2n * eta
+    ct.noise_log2 = std::log2(static_cast<double>(ctx_.t())) +
+                    std::log2(4.0 * static_cast<double>(ctx_.degree()));
+  }
+  return ct;
+}
+
+// ---------------------------------------------------------------------------
+// Decryptor
+// ---------------------------------------------------------------------------
+
+Decryptor::Decryptor(const HeContext& ctx, const SecretKey& sk)
+    : ctx_(ctx), sk_(sk) {}
+
+RnsPoly Decryptor::dot_with_key_powers(const Ciphertext& ct) const {
+  if (ct.empty()) throw std::invalid_argument("decrypt: empty ciphertext");
+  RnsPoly acc = ct.parts[0];
+  if (!acc.ntt_form) ctx_.to_ntt(acc);
+  RnsPoly s_power = sk_.s;
+  for (std::size_t i = 1; i < ct.parts.size(); ++i) {
+    RnsPoly part = ct.parts[i];
+    if (!part.ntt_form) ctx_.to_ntt(part);
+    ctx_.multiply_inplace(part, s_power);
+    ctx_.add_inplace(acc, part);
+    if (i + 1 < ct.parts.size()) {
+      s_power = ctx_.multiply(s_power, sk_.s);
+    }
+  }
+  ctx_.to_coeff(acc);
+  return acc;
+}
+
+Plaintext Decryptor::decrypt(const Ciphertext& ct) const {
+  RnsPoly acc = dot_with_key_powers(ct);
+  const std::size_t n = ctx_.degree();
+  const std::size_t k = ctx_.rns_size();
+  Plaintext pt;
+  pt.coeffs.resize(n);
+  std::vector<u64> residues(k);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < k; ++i) residues[i] = acc.comp[i][j];
+    pt.coeffs[j] = ctx_.compose_center_mod_t(residues);
+  }
+  return pt;
+}
+
+double Decryptor::noise_budget(const Ciphertext& ct) const {
+  RnsPoly acc = dot_with_key_powers(ct);
+  const Plaintext pt = decrypt(ct);
+  // noise = centered(acc) - m over the integers; since m < t << q, we can
+  // subtract the lifted message per RNS component and measure the result.
+  RnsPoly m = ctx_.lift_plaintext(pt);
+  const std::size_t n = ctx_.degree();
+  const std::size_t k = ctx_.rns_size();
+  double max_log = 0.0;
+  std::vector<u64> residues(k);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < k; ++i) {
+      residues[i] = sub_mod(acc.comp[i][j], m.comp[i][j], ctx_.q(i));
+    }
+    max_log = std::max(max_log, ctx_.compose_center_log2(residues));
+  }
+  const double budget = ctx_.params().log2_q() - 1.0 - max_log;
+  return budget;
+}
+
+// ---------------------------------------------------------------------------
+// Evaluator
+// ---------------------------------------------------------------------------
+
+Evaluator::Evaluator(const HeContext& ctx) : ctx_(ctx) {}
+
+void Evaluator::add_inplace(Ciphertext& a, const Ciphertext& b) const {
+  ++counters_.adds;
+  while (a.parts.size() < b.parts.size()) {
+    a.parts.emplace_back(ctx_.rns_size(), ctx_.degree(), true);
+  }
+  for (std::size_t i = 0; i < b.parts.size(); ++i) {
+    ctx_.add_inplace(a.parts[i], b.parts[i]);
+  }
+  a.noise_log2 = std::max(a.noise_log2, b.noise_log2) + 1.0;
+}
+
+void Evaluator::sub_inplace(Ciphertext& a, const Ciphertext& b) const {
+  ++counters_.adds;
+  while (a.parts.size() < b.parts.size()) {
+    a.parts.emplace_back(ctx_.rns_size(), ctx_.degree(), true);
+  }
+  for (std::size_t i = 0; i < b.parts.size(); ++i) {
+    ctx_.sub_inplace(a.parts[i], b.parts[i]);
+  }
+  a.noise_log2 = std::max(a.noise_log2, b.noise_log2) + 1.0;
+}
+
+void Evaluator::negate_inplace(Ciphertext& a) const {
+  for (auto& p : a.parts) ctx_.negate_inplace(p);
+}
+
+void Evaluator::add_plain_inplace(Ciphertext& a, const Plaintext& pt) const {
+  ++counters_.adds;
+  RnsPoly m = ctx_.lift_plaintext(pt);
+  ctx_.to_ntt(m);
+  ctx_.add_inplace(a.parts[0], m);
+}
+
+void Evaluator::sub_plain_inplace(Ciphertext& a, const Plaintext& pt) const {
+  ++counters_.adds;
+  RnsPoly m = ctx_.lift_plaintext(pt);
+  ctx_.to_ntt(m);
+  ctx_.sub_inplace(a.parts[0], m);
+}
+
+void Evaluator::multiply_plain_inplace(Ciphertext& a,
+                                       const Plaintext& pt) const {
+  ++counters_.plain_mults;
+  RnsPoly m = ctx_.lift_plaintext(pt);
+  ctx_.to_ntt(m);
+  for (auto& part : a.parts) ctx_.multiply_inplace(part, m);
+  a.noise_log2 += std::log2(static_cast<double>(ctx_.degree())) +
+                  std::log2(static_cast<double>(ctx_.t()));
+}
+
+Ciphertext Evaluator::multiply(const Ciphertext& a, const Ciphertext& b) const {
+  ++counters_.ct_mults;
+  if (a.size() != 2 || b.size() != 2) {
+    throw std::invalid_argument("Evaluator::multiply: need size-2 operands");
+  }
+  Ciphertext out;
+  // (a0, a1) x (b0, b1) -> (a0 b0, a0 b1 + a1 b0, a1 b1)
+  out.parts.push_back(ctx_.multiply(a.parts[0], b.parts[0]));
+  RnsPoly mid = ctx_.multiply(a.parts[0], b.parts[1]);
+  RnsPoly mid2 = ctx_.multiply(a.parts[1], b.parts[0]);
+  ctx_.add_inplace(mid, mid2);
+  out.parts.push_back(std::move(mid));
+  out.parts.push_back(ctx_.multiply(a.parts[1], b.parts[1]));
+  out.noise_log2 = a.noise_log2 + b.noise_log2 +
+                   std::log2(static_cast<double>(ctx_.degree()));
+  return out;
+}
+
+void Evaluator::key_switch(const RnsPoly& c_coeff, const KSwitchKey& key,
+                           RnsPoly& acc0, RnsPoly& acc1) const {
+  if (c_coeff.ntt_form) {
+    throw std::invalid_argument("key_switch: input must be coefficient form");
+  }
+  const std::size_t k = ctx_.rns_size();
+  const std::size_t n = ctx_.degree();
+  for (std::size_t i = 0; i < k; ++i) {
+    // RNS digit i: the residue vector mod q_i, re-reduced modulo every q_j.
+    RnsPoly digit(k, n, false);
+    for (std::size_t j = 0; j < k; ++j) {
+      const Barrett& br = ctx_.barrett(j);
+      for (std::size_t c = 0; c < n; ++c) {
+        digit.comp[j][c] = br.reduce(c_coeff.comp[i][c]);
+      }
+    }
+    ctx_.to_ntt(digit);
+    RnsPoly t0 = ctx_.multiply(digit, key.b[i]);
+    ctx_.add_inplace(acc0, t0);
+    ctx_.multiply_inplace(digit, key.a[i]);
+    ctx_.add_inplace(acc1, digit);
+  }
+}
+
+void Evaluator::relinearize_inplace(Ciphertext& a, const RelinKey& rk) const {
+  ++counters_.relins;
+  if (a.size() != 3) {
+    throw std::invalid_argument("relinearize: expected 3-part ciphertext");
+  }
+  RnsPoly c2 = a.parts[2];
+  ctx_.to_coeff(c2);
+  key_switch(c2, rk.key, a.parts[0], a.parts[1]);
+  a.parts.pop_back();
+  // Key-switch noise: ~ k * n * eta * max(q_i) * t ... dominated by digits.
+  a.noise_log2 = std::max(
+      a.noise_log2,
+      std::log2(static_cast<double>(ctx_.rns_size())) +
+          std::log2(static_cast<double>(ctx_.degree())) + 55.0);
+}
+
+void Evaluator::apply_galois_inplace(Ciphertext& a, u64 elt,
+                                     const GaloisKeys& gk) const {
+  ++counters_.rotations;
+  if (!gk.has(elt)) {
+    throw std::invalid_argument("apply_galois: missing key for element " +
+                                std::to_string(elt));
+  }
+  if (a.size() != 2) {
+    throw std::invalid_argument("apply_galois: relinearize first");
+  }
+  RnsPoly c0 = a.parts[0];
+  RnsPoly c1 = a.parts[1];
+  ctx_.to_coeff(c0);
+  ctx_.to_coeff(c1);
+  RnsPoly c0g, c1g;
+  ctx_.apply_galois_coeff(c0, elt, c0g);
+  ctx_.apply_galois_coeff(c1, elt, c1g);
+  ctx_.to_ntt(c0g);
+  RnsPoly acc0 = std::move(c0g);
+  RnsPoly acc1(ctx_.rns_size(), ctx_.degree(), true);
+  key_switch(c1g, gk.keys.at(elt), acc0, acc1);
+  a.parts[0] = std::move(acc0);
+  a.parts[1] = std::move(acc1);
+  a.noise_log2 = std::max(
+      a.noise_log2,
+      std::log2(static_cast<double>(ctx_.rns_size())) +
+          std::log2(static_cast<double>(ctx_.degree())) + 55.0);
+}
+
+void Evaluator::rotate_rows_inplace(Ciphertext& a, int step,
+                                    const GaloisKeys& gk) const {
+  if (step == 0) return;
+  apply_galois_inplace(a, ctx_.galois_elt_from_step(step), gk);
+}
+
+void Evaluator::rotate_columns_inplace(Ciphertext& a,
+                                       const GaloisKeys& gk) const {
+  apply_galois_inplace(a, ctx_.galois_elt_row_swap(), gk);
+}
+
+void Evaluator::serialize(const Ciphertext& ct, ByteWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(ct.parts.size()));
+  for (const auto& part : ct.parts) {
+    w.u8(part.ntt_form ? 1 : 0);
+    w.u32(static_cast<std::uint32_t>(part.rns_size()));
+    for (const auto& comp : part.comp) w.vec_u64(comp);
+  }
+  w.f64(ct.noise_log2);
+}
+
+Ciphertext Evaluator::deserialize(ByteReader& r) const {
+  Ciphertext ct;
+  const auto parts = r.u32();
+  for (std::uint32_t p = 0; p < parts; ++p) {
+    RnsPoly poly;
+    poly.ntt_form = r.u8() != 0;
+    const auto k = r.u32();
+    poly.comp.resize(k);
+    for (std::uint32_t i = 0; i < k; ++i) poly.comp[i] = r.vec_u64();
+    ct.parts.push_back(std::move(poly));
+  }
+  ct.noise_log2 = r.f64();
+  return ct;
+}
+
+}  // namespace primer

@@ -1,0 +1,131 @@
+// KeyGenerator / Encryptor / Decryptor / Evaluator — the public face of the
+// HE substrate.  The Evaluator tracks an OpCounters record so protocols and
+// benchmarks can report HE operation counts (the quantities Primer's
+// techniques reduce).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "he/context.h"
+#include "he/keys.h"
+#include "he/rns_poly.h"
+
+namespace primer {
+
+struct HeOpCounters {
+  std::uint64_t encryptions = 0;
+  std::uint64_t decryptions = 0;
+  std::uint64_t adds = 0;
+  std::uint64_t plain_mults = 0;
+  std::uint64_t ct_mults = 0;
+  std::uint64_t rotations = 0;
+  std::uint64_t relins = 0;
+
+  void clear() { *this = HeOpCounters{}; }
+};
+
+class KeyGenerator {
+ public:
+  KeyGenerator(const HeContext& ctx, Rng& rng);
+
+  const SecretKey& secret_key() const { return sk_; }
+  PublicKey make_public_key();
+  RelinKey make_relin_key();
+  // Keys for the given rotation steps (plus the row swap if requested).
+  GaloisKeys make_galois_keys(const std::vector<int>& steps,
+                              bool include_row_swap = false);
+  // Key for one explicit Galois element.
+  void add_galois_key(GaloisKeys& keys, u64 elt);
+
+ private:
+  KSwitchKey make_kswitch_key(const RnsPoly& target_ntt);
+
+  const HeContext& ctx_;
+  Rng& rng_;
+  SecretKey sk_;
+};
+
+class Encryptor {
+ public:
+  // Symmetric-key encryptor (the client, who owns sk).  Fresh symmetric
+  // ciphertexts carry the least noise, which is what the protocol analysis
+  // assumes for re-encrypted shares.
+  Encryptor(const HeContext& ctx, const SecretKey& sk, Rng& rng);
+  // Public-key encryptor (any party).
+  Encryptor(const HeContext& ctx, const PublicKey& pk, Rng& rng);
+
+  Ciphertext encrypt(const Plaintext& pt) const;
+  Ciphertext encrypt_zero() const;
+
+  HeOpCounters& counters() const { return counters_; }
+
+ private:
+  const HeContext& ctx_;
+  const SecretKey* sk_ = nullptr;
+  const PublicKey* pk_ = nullptr;
+  Rng& rng_;
+  mutable HeOpCounters counters_;
+};
+
+class Decryptor {
+ public:
+  Decryptor(const HeContext& ctx, const SecretKey& sk);
+
+  Plaintext decrypt(const Ciphertext& ct) const;
+
+  // Remaining noise budget in bits: log2(q) - 1 - log2|t*e|.  Negative
+  // budget means decryption is no longer guaranteed correct.
+  double noise_budget(const Ciphertext& ct) const;
+
+ private:
+  RnsPoly dot_with_key_powers(const Ciphertext& ct) const;
+
+  const HeContext& ctx_;
+  const SecretKey& sk_;
+};
+
+class Evaluator {
+ public:
+  explicit Evaluator(const HeContext& ctx);
+
+  void add_inplace(Ciphertext& a, const Ciphertext& b) const;
+  void sub_inplace(Ciphertext& a, const Ciphertext& b) const;
+  void negate_inplace(Ciphertext& a) const;
+  void add_plain_inplace(Ciphertext& a, const Plaintext& pt) const;
+  void sub_plain_inplace(Ciphertext& a, const Plaintext& pt) const;
+
+  // Ciphertext x plaintext multiplication (SIMD slot-wise).
+  void multiply_plain_inplace(Ciphertext& a, const Plaintext& pt) const;
+
+  // Ciphertext x ciphertext multiplication; result has 3 parts until
+  // relinearize() is called.
+  Ciphertext multiply(const Ciphertext& a, const Ciphertext& b) const;
+  void relinearize_inplace(Ciphertext& a, const RelinKey& rk) const;
+
+  // Rotates batched rows left by `step` (negative = right).
+  void rotate_rows_inplace(Ciphertext& a, int step, const GaloisKeys& gk) const;
+  // Swaps the two batched rows.
+  void rotate_columns_inplace(Ciphertext& a, const GaloisKeys& gk) const;
+  void apply_galois_inplace(Ciphertext& a, u64 elt, const GaloisKeys& gk) const;
+
+  // Serialization (for channel byte accounting).
+  void serialize(const Ciphertext& ct, ByteWriter& w) const;
+  Ciphertext deserialize(ByteReader& r) const;
+
+  HeOpCounters& counters() const { return counters_; }
+
+ private:
+  // Key-switches coefficient-form polynomial c w.r.t. key, accumulating the
+  // result (NTT form) into (acc0, acc1).
+  void key_switch(const RnsPoly& c_coeff, const KSwitchKey& key,
+                  RnsPoly& acc0, RnsPoly& acc1) const;
+
+  const HeContext& ctx_;
+  mutable HeOpCounters counters_;
+};
+
+}  // namespace primer

@@ -1,0 +1,48 @@
+// Key material for the RLWE scheme.
+//
+// Key switching uses the RNS-digit gadget (the same construction SEAL calls
+// "key switching keys"): for a source key s_src and RNS basis {q_i}, the
+// switching key holds, for every digit i,
+//     K_i = ( -(a_i * s + t*e_i) + P_i * s_src ,  a_i )
+// where P_i = (q/q_i) * [(q/q_i)^{-1}]_{q_i} is the CRT unit (1 mod q_i,
+// 0 mod q_j).  Summing d_i (*) K_i over the RNS digits d_i of a polynomial c
+// yields an encryption of c * s_src under s.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "he/rns_poly.h"
+
+namespace primer {
+
+struct SecretKey {
+  RnsPoly s;  // NTT form
+};
+
+struct PublicKey {
+  RnsPoly b;  // -(a*s + t*e), NTT form
+  RnsPoly a;  // uniform, NTT form
+};
+
+struct KSwitchKey {
+  // One (b_i, a_i) pair per RNS digit, all NTT form.
+  std::vector<RnsPoly> b;
+  std::vector<RnsPoly> a;
+
+  bool empty() const { return b.empty(); }
+};
+
+struct RelinKey {
+  KSwitchKey key;  // switches s^2 -> s
+};
+
+struct GaloisKeys {
+  // Galois element -> key switching s(x^elt) -> s(x).
+  std::map<u64, KSwitchKey> keys;
+
+  bool has(u64 elt) const { return keys.count(elt) != 0; }
+};
+
+}  // namespace primer

@@ -1,0 +1,57 @@
+#include "he/params.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ntt/primes.h"
+
+namespace primer {
+
+double HeParams::log2_q() const {
+  double s = 0;
+  for (auto p : q) s += std::log2(static_cast<double>(p));
+  return s;
+}
+
+HeParams make_params(HeProfile profile) {
+  HeParams p;
+  switch (profile) {
+    case HeProfile::kTest2048: {
+      p.poly_degree = 2048;
+      p.q = generate_ntt_primes(40, p.poly_degree, 2);
+      p.t = first_ntt_prime_at_least(u64{1} << 20, p.poly_degree);
+      p.secure_128 = false;  // q too small vs n for the standard table row
+      p.name = "test-2048";
+      break;
+    }
+    case HeProfile::kLight4096: {
+      p.poly_degree = 4096;
+      p.q = generate_ntt_primes(50, p.poly_degree, 2);
+      p.t = first_ntt_prime_at_least(u64{1} << 20, p.poly_degree);
+      p.secure_128 = true;  // ~100 bits <= 109
+      p.name = "light-4096";
+      break;
+    }
+    case HeProfile::kProd8192: {
+      p.poly_degree = 8192;
+      p.q = generate_ntt_primes(50, p.poly_degree, 3);
+      p.t = first_ntt_prime_at_least(u64{1} << 40, p.poly_degree);
+      p.secure_128 = true;  // ~150 bits <= 218
+      p.name = "prod-8192";
+      break;
+    }
+    case HeProfile::kProto2048: {
+      p.poly_degree = 2048;
+      p.q = generate_ntt_primes(45, p.poly_degree, 3);
+      p.t = first_ntt_prime_at_least(u64{1} << 38, p.poly_degree);
+      p.secure_128 = false;  // live-test profile; see header comment
+      p.name = "proto-2048";
+      break;
+    }
+    default:
+      throw std::invalid_argument("make_params: unknown profile");
+  }
+  return p;
+}
+
+}  // namespace primer

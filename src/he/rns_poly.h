@@ -1,0 +1,54 @@
+// Polynomial in R_q represented in the residue number system: one length-n
+// residue vector per RNS prime.  Polynomials are tagged with their domain
+// (coefficient vs NTT/evaluation form); the evaluator converts as needed.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "ntt/modarith.h"
+
+namespace primer {
+
+class HeContext;  // defined in he/context.h
+
+struct RnsPoly {
+  // comp[i][j] = j-th coefficient (or NTT slot) modulo q_i.
+  std::vector<std::vector<u64>> comp;
+  bool ntt_form = false;
+
+  RnsPoly() = default;
+  RnsPoly(std::size_t rns_size, std::size_t degree, bool ntt = false)
+      : comp(rns_size, std::vector<u64>(degree, 0)), ntt_form(ntt) {}
+
+  std::size_t rns_size() const { return comp.size(); }
+  std::size_t degree() const { return comp.empty() ? 0 : comp[0].size(); }
+
+  bool same_shape(const RnsPoly& o) const {
+    return comp.size() == o.comp.size() && degree() == o.degree();
+  }
+};
+
+// A ciphertext is a vector of polynomials (size 2 normally, 3 after a
+// ciphertext-ciphertext multiplication until relinearized).  Decryption of
+// (c0, c1, c2, ...) computes c0 + c1*s + c2*s^2 + ...
+struct Ciphertext {
+  std::vector<RnsPoly> parts;
+  // Heuristic upper bound on log2 of the noise coefficient; maintained by
+  // the evaluator so callers can check remaining budget.
+  double noise_log2 = 0.0;
+
+  std::size_t size() const { return parts.size(); }
+  bool empty() const { return parts.empty(); }
+};
+
+// Plaintext polynomial with coefficients mod t.  `ntt_form` distinguishes a
+// slot-encoded value (coefficient domain, ready for enc/add) from the
+// pre-transformed operand cached for repeated plaintext multiplication.
+struct Plaintext {
+  std::vector<u64> coeffs;  // mod t, coefficient domain
+  std::size_t degree() const { return coeffs.size(); }
+};
+
+}  // namespace primer

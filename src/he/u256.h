@@ -1,0 +1,115 @@
+// Minimal fixed-width 256-bit unsigned integer.
+//
+// Used only on the narrow decryption path: CRT-composing the RNS residues
+// of c0 + c1*s into the single integer representative mod q (q up to ~160
+// bits), centering it, and reducing mod the plaintext modulus t.  Only the
+// operations that path needs are provided.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace primer {
+
+struct U256 {
+  // Little-endian limbs: v = limb[0] + limb[1]*2^64 + ...
+  std::array<std::uint64_t, 4> limb{0, 0, 0, 0};
+
+  static U256 from_u64(std::uint64_t x) {
+    U256 r;
+    r.limb[0] = x;
+    return r;
+  }
+
+  static U256 from_u128(unsigned __int128 x) {
+    U256 r;
+    r.limb[0] = static_cast<std::uint64_t>(x);
+    r.limb[1] = static_cast<std::uint64_t>(x >> 64);
+    return r;
+  }
+
+  bool is_zero() const {
+    return (limb[0] | limb[1] | limb[2] | limb[3]) == 0;
+  }
+
+  int compare(const U256& o) const {
+    for (int i = 3; i >= 0; --i) {
+      if (limb[i] != o.limb[i]) return limb[i] < o.limb[i] ? -1 : 1;
+    }
+    return 0;
+  }
+
+  bool operator<(const U256& o) const { return compare(o) < 0; }
+  bool operator>=(const U256& o) const { return compare(o) >= 0; }
+  bool operator==(const U256& o) const { return compare(o) == 0; }
+
+  U256& operator+=(const U256& o) {
+    unsigned __int128 carry = 0;
+    for (int i = 0; i < 4; ++i) {
+      const unsigned __int128 s =
+          static_cast<unsigned __int128>(limb[i]) + o.limb[i] + carry;
+      limb[i] = static_cast<std::uint64_t>(s);
+      carry = s >> 64;
+    }
+    return *this;
+  }
+
+  U256& operator-=(const U256& o) {
+    unsigned __int128 borrow = 0;
+    for (int i = 0; i < 4; ++i) {
+      const unsigned __int128 d = static_cast<unsigned __int128>(limb[i]) -
+                                  o.limb[i] - borrow;
+      limb[i] = static_cast<std::uint64_t>(d);
+      borrow = (d >> 64) & 1;
+    }
+    return *this;
+  }
+
+  U256 operator+(const U256& o) const {
+    U256 r = *this;
+    r += o;
+    return r;
+  }
+
+  U256 operator-(const U256& o) const {
+    U256 r = *this;
+    r -= o;
+    return r;
+  }
+
+  // Multiply by a 64-bit scalar (result truncated to 256 bits; callers
+  // guarantee no overflow: operands stay below 2^200).
+  U256 mul_u64(std::uint64_t x) const {
+    U256 r;
+    unsigned __int128 carry = 0;
+    for (int i = 0; i < 4; ++i) {
+      const unsigned __int128 p =
+          static_cast<unsigned __int128>(limb[i]) * x + carry;
+      r.limb[i] = static_cast<std::uint64_t>(p);
+      carry = p >> 64;
+    }
+    return r;
+  }
+
+  // Remainder modulo a 64-bit value.
+  std::uint64_t mod_u64(std::uint64_t m) const {
+    unsigned __int128 rem = 0;
+    for (int i = 3; i >= 0; --i) {
+      rem = ((rem << 64) | limb[i]) % m;
+    }
+    return static_cast<std::uint64_t>(rem);
+  }
+
+  // Doubles the value (used for the centered-representative test 2x >= q).
+  U256 doubled() const {
+    U256 r;
+    std::uint64_t carry = 0;
+    for (int i = 0; i < 4; ++i) {
+      r.limb[i] = (limb[i] << 1) | carry;
+      carry = limb[i] >> 63;
+    }
+    return r;
+  }
+};
+
+}  // namespace primer

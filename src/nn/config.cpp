@@ -1,0 +1,35 @@
+#include "nn/config.h"
+
+namespace primer {
+
+namespace {
+
+BertConfig make(const std::string& name, std::size_t blocks, std::size_t d,
+                std::size_t heads, std::size_t tokens, std::size_t vocab) {
+  BertConfig c;
+  c.name = name;
+  c.blocks = blocks;
+  c.d_model = d;
+  c.heads = heads;
+  c.tokens = tokens;
+  c.vocab = vocab;
+  c.d_ff = 4 * d;
+  return c;
+}
+
+}  // namespace
+
+BertConfig bert_tiny() { return make("BERT-tiny", 3, 768, 12, 30, 30522); }
+BertConfig bert_small() { return make("BERT-small", 6, 768, 12, 30, 30522); }
+BertConfig bert_base() { return make("BERT-base", 12, 768, 12, 30, 30522); }
+BertConfig bert_medium() { return make("BERT-medium", 12, 1024, 16, 30, 30522); }
+BertConfig bert_large() { return make("BERT-large", 24, 1024, 16, 30, 30522); }
+
+std::vector<BertConfig> bert_zoo() {
+  return {bert_tiny(), bert_small(), bert_base(), bert_medium(), bert_large()};
+}
+
+BertConfig bert_nano() { return make("BERT-nano", 1, 16, 2, 4, 32); }
+BertConfig bert_micro() { return make("BERT-micro", 2, 32, 4, 8, 64); }
+
+}  // namespace primer

@@ -1,0 +1,43 @@
+// BERT model configurations.
+//
+// The five paper models follow Table III.  The "nano" configurations are
+// reduced-dimension models used for LIVE end-to-end protocol runs (real HE +
+// real garbled circuits on one core); the paper-scale models are executed in
+// plaintext and costed with the calibrated operation-count model
+// (proto/cost_model.h).  DESIGN.md §2 documents this substitution.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/fixed_point.h"
+
+namespace primer {
+
+struct BertConfig {
+  std::string name;
+  std::size_t blocks = 0;      // N
+  std::size_t d_model = 0;     // d_emb
+  std::size_t heads = 0;       // H
+  std::size_t tokens = 0;      // n (fixed sequence length)
+  std::size_t vocab = 30522;   // d_oh, WordPiece vocabulary
+  std::size_t d_ff = 0;        // feed-forward width (4 * d_model)
+  std::size_t num_classes = 3; // classification head width (MNLI: 3)
+
+  std::size_t head_dim() const { return d_model / heads; }
+};
+
+// Paper Table III rows.
+BertConfig bert_tiny();
+BertConfig bert_small();
+BertConfig bert_base();
+BertConfig bert_medium();
+BertConfig bert_large();
+std::vector<BertConfig> bert_zoo();
+
+// Reduced models for live protocol execution.
+BertConfig bert_nano();    // 1 block, d=16, 2 heads, 4 tokens, vocab 32
+BertConfig bert_micro();   // 2 blocks, d=32, 4 heads, 8 tokens, vocab 64
+
+}  // namespace primer

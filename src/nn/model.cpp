@@ -1,0 +1,418 @@
+#include "nn/model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace primer {
+
+// ---------------------------------------------------------------------------
+// Weights
+// ---------------------------------------------------------------------------
+
+namespace {
+
+MatD random_mat(Rng& rng, std::size_t r, std::size_t c, double scale) {
+  MatD m(r, c);
+  for (auto& v : m.data()) v = rng.gaussian() * scale;
+  return m;
+}
+
+std::vector<double> zeros(std::size_t n) { return std::vector<double>(n, 0.0); }
+std::vector<double> ones(std::size_t n) { return std::vector<double>(n, 1.0); }
+
+std::vector<std::int64_t> quantize_vec(const std::vector<double>& v,
+                                       const FixedPointFormat& fmt) {
+  std::vector<std::int64_t> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = fp_encode(v[i], fmt);
+  return out;
+}
+
+}  // namespace
+
+BertWeightsD BertWeightsD::random(const BertConfig& config, Rng& rng,
+                                  double weight_scale) {
+  BertWeightsD w;
+  w.config = config;
+  const std::size_t d = config.d_model;
+  // Xavier-ish scaling keeps activations inside the 15-bit range.
+  const double s = weight_scale / std::sqrt(static_cast<double>(d));
+  w.we = random_mat(rng, config.vocab, d, weight_scale);
+  w.pos = random_mat(rng, config.tokens, d, weight_scale * 0.5);
+  const double qk_scale = 1.0 / std::sqrt(static_cast<double>(config.head_dim()));
+  for (std::size_t b = 0; b < config.blocks; ++b) {
+    BlockWeightsD blk;
+    blk.wq = random_mat(rng, d, d, s * qk_scale);  // 1/sqrt(d_h) folded in
+    blk.wk = random_mat(rng, d, d, s);
+    blk.wv = random_mat(rng, d, d, s);
+    blk.wo = random_mat(rng, d, d, s);
+    blk.w1 = random_mat(rng, d, config.d_ff, s);
+    blk.w2 = random_mat(rng, config.d_ff, d, s);
+    blk.b_q = zeros(d);
+    blk.b_k = zeros(d);
+    blk.b_v = zeros(d);
+    blk.b_o = zeros(d);
+    blk.b_1 = zeros(config.d_ff);
+    blk.b_2 = zeros(d);
+    blk.ln1_gamma = ones(d);
+    blk.ln1_beta = zeros(d);
+    blk.ln2_gamma = ones(d);
+    blk.ln2_beta = zeros(d);
+    w.blocks.push_back(std::move(blk));
+  }
+  w.w_cls = random_mat(rng, d, config.num_classes, s * 4);
+  w.b_cls = zeros(config.num_classes);
+  return w;
+}
+
+BertWeightsI quantize(const BertWeightsD& w, const FixedPointFormat& fmt) {
+  BertWeightsI q;
+  q.config = w.config;
+  q.fmt = fmt;
+  q.we = to_fixed(w.we, fmt);
+  q.pos = to_fixed(w.pos, fmt);
+  for (const auto& blk : w.blocks) {
+    BlockWeightsI b;
+    b.wq = to_fixed(blk.wq, fmt);
+    b.wk = to_fixed(blk.wk, fmt);
+    b.wv = to_fixed(blk.wv, fmt);
+    b.wo = to_fixed(blk.wo, fmt);
+    b.w1 = to_fixed(blk.w1, fmt);
+    b.w2 = to_fixed(blk.w2, fmt);
+    b.b_q = quantize_vec(blk.b_q, fmt);
+    b.b_k = quantize_vec(blk.b_k, fmt);
+    b.b_v = quantize_vec(blk.b_v, fmt);
+    b.b_o = quantize_vec(blk.b_o, fmt);
+    b.b_1 = quantize_vec(blk.b_1, fmt);
+    b.b_2 = quantize_vec(blk.b_2, fmt);
+    b.ln1_gamma = quantize_vec(blk.ln1_gamma, fmt);
+    b.ln1_beta = quantize_vec(blk.ln1_beta, fmt);
+    b.ln2_gamma = quantize_vec(blk.ln2_gamma, fmt);
+    b.ln2_beta = quantize_vec(blk.ln2_beta, fmt);
+    q.blocks.push_back(std::move(b));
+  }
+  q.w_cls = to_fixed(w.w_cls, fmt);
+  q.b_cls = quantize_vec(w.b_cls, fmt);
+  return q;
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-point primitives
+// ---------------------------------------------------------------------------
+
+MatI fixed_linear_acc(const MatI& x, const MatI& w,
+                      const std::vector<std::int64_t>* bias,
+                      const FixedPointFormat& fmt) {
+  if (x.cols() != w.rows()) {
+    throw std::invalid_argument("fixed_linear_acc: dimension mismatch");
+  }
+  MatI acc(x.rows(), w.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t k = 0; k < x.cols(); ++k) {
+      const std::int64_t v = x(i, k);
+      if (v == 0) continue;
+      for (std::size_t j = 0; j < w.cols(); ++j) acc(i, j) += v * w(k, j);
+    }
+  }
+  if (bias != nullptr) {
+    for (std::size_t i = 0; i < acc.rows(); ++i) {
+      for (std::size_t j = 0; j < acc.cols(); ++j) {
+        acc(i, j) += (*bias)[j] << fmt.frac_bits;
+      }
+    }
+  }
+  return acc;
+}
+
+MatI fixed_truncate(const MatI& acc, const FixedPointFormat& fmt) {
+  MatI out(acc.rows(), acc.cols());
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    out.data()[i] = fp_truncate(acc.data()[i], fmt);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> fixed_layernorm_row(
+    const std::vector<std::int64_t>& x,
+    const std::vector<std::int64_t>& gamma,
+    const std::vector<std::int64_t>& beta, const FixedPointFormat& fmt) {
+  const auto d = static_cast<std::int64_t>(x.size());
+  std::int64_t sum = 0;
+  for (const auto v : x) sum += v;
+  const std::int64_t mean = sum / d;  // truncating division, like the circuit
+  std::int64_t var_acc = 0;
+  std::vector<std::int64_t> c(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    c[i] = x[i] - mean;
+    var_acc += (c[i] * c[i]) >> fmt.frac_bits;
+  }
+  const std::int64_t var = var_acc / d;
+  const std::int64_t rstd = pwl_reference(var, layernorm_rsqrt_spec(), fmt);
+  std::vector<std::int64_t> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const std::int64_t norm = fp_saturate((c[i] * rstd) >> fmt.frac_bits, fmt);
+    out[i] = fp_saturate(((norm * gamma[i]) >> fmt.frac_bits) + beta[i], fmt);
+  }
+  return out;
+}
+
+MatI fixed_layernorm(const MatI& x, const std::vector<std::int64_t>& gamma,
+                     const std::vector<std::int64_t>& beta,
+                     const FixedPointFormat& fmt) {
+  MatI out(x.rows(), x.cols());
+  std::vector<std::int64_t> row(x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) row[j] = x(i, j);
+    const auto normed = fixed_layernorm_row(row, gamma, beta, fmt);
+    for (std::size_t j = 0; j < x.cols(); ++j) out(i, j) = normed[j];
+  }
+  return out;
+}
+
+MatI one_hot_input(const std::vector<std::size_t>& tokens,
+                   const BertConfig& config, const FixedPointFormat& fmt) {
+  if (tokens.size() != config.tokens) {
+    throw std::invalid_argument("one_hot_input: wrong token count");
+  }
+  MatI x(config.tokens, config.vocab);
+  const std::int64_t one = fp_encode(1.0, fmt);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i] >= config.vocab) {
+      throw std::invalid_argument("one_hot_input: token id out of vocab");
+    }
+    x(i, tokens[i]) = one;
+  }
+  return x;
+}
+
+// ---------------------------------------------------------------------------
+// FloatBert
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<double> float_softmax(const std::vector<double>& x) {
+  double m = x[0];
+  for (const double v : x) m = std::max(m, v);
+  double sum = 0;
+  std::vector<double> e(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    e[i] = std::exp(x[i] - m);
+    sum += e[i];
+  }
+  for (auto& v : e) v /= sum;
+  return e;
+}
+
+std::vector<double> float_layernorm(const std::vector<double>& x,
+                                    const std::vector<double>& gamma,
+                                    const std::vector<double>& beta) {
+  const auto d = static_cast<double>(x.size());
+  double mean = 0;
+  for (const double v : x) mean += v;
+  mean /= d;
+  double var = 0;
+  for (const double v : x) var += (v - mean) * (v - mean);
+  var /= d;
+  const double rstd = 1.0 / std::sqrt(var + 1e-5);
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = (x[i] - mean) * rstd * gamma[i] + beta[i];
+  }
+  return out;
+}
+
+MatD add_bias(MatD m, const std::vector<double>& b) {
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) m(i, j) += b[j];
+  }
+  return m;
+}
+
+MatD layernorm_rows(const MatD& x, const std::vector<double>& gamma,
+                    const std::vector<double>& beta) {
+  MatD out(x.rows(), x.cols());
+  std::vector<double> row(x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) row[j] = x(i, j);
+    const auto n = float_layernorm(row, gamma, beta);
+    for (std::size_t j = 0; j < x.cols(); ++j) out(i, j) = n[j];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> FloatBert::forward(
+    const std::vector<std::size_t>& tokens) const {
+  const auto& cfg = w_.config;
+  // Embedding: row lookup == one-hot matmul.
+  MatD x(cfg.tokens, cfg.d_model);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    for (std::size_t j = 0; j < cfg.d_model; ++j) {
+      x(i, j) = w_.we(tokens[i], j) + w_.pos(i, j);
+    }
+  }
+
+  const std::size_t dh = cfg.head_dim();
+  for (const auto& blk : w_.blocks) {
+    const MatD q = add_bias(x * blk.wq, blk.b_q);
+    const MatD k = add_bias(x * blk.wk, blk.b_k);
+    const MatD v = add_bias(x * blk.wv, blk.b_v);
+    MatD attn(cfg.tokens, cfg.d_model);
+    for (std::size_t h = 0; h < cfg.heads; ++h) {
+      const std::size_t off = h * dh;
+      for (std::size_t i = 0; i < cfg.tokens; ++i) {
+        std::vector<double> scores(cfg.tokens);
+        for (std::size_t j = 0; j < cfg.tokens; ++j) {
+          double dot = 0;
+          for (std::size_t c = 0; c < dh; ++c) {
+            dot += q(i, off + c) * k(j, off + c);
+          }
+          scores[j] = dot;  // 1/sqrt(dh) already folded into wq
+        }
+        const auto p = float_softmax(scores);
+        for (std::size_t c = 0; c < dh; ++c) {
+          double acc = 0;
+          for (std::size_t j = 0; j < cfg.tokens; ++j) {
+            acc += p[j] * v(j, off + c);
+          }
+          attn(i, off + c) = acc;
+        }
+      }
+    }
+    const MatD proj = add_bias(attn * blk.wo, blk.b_o);
+    x = layernorm_rows(x + proj, blk.ln1_gamma, blk.ln1_beta);
+    MatD ff = add_bias(x * blk.w1, blk.b_1);
+    for (auto& val : ff.data()) val = gelu_double(val);
+    const MatD ff2 = add_bias(ff * blk.w2, blk.b_2);
+    x = layernorm_rows(x + ff2, blk.ln2_gamma, blk.ln2_beta);
+  }
+
+  // Classification head on the first token.
+  std::vector<double> logits(cfg.num_classes, 0.0);
+  for (std::size_t c = 0; c < cfg.num_classes; ++c) {
+    double acc = w_.b_cls[c];
+    for (std::size_t j = 0; j < cfg.d_model; ++j) acc += x(0, j) * w_.w_cls(j, c);
+    logits[c] = acc;
+  }
+  return logits;
+}
+
+std::size_t FloatBert::predict(const std::vector<std::size_t>& tokens) const {
+  const auto logits = forward(tokens);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < logits.size(); ++i) {
+    if (logits[i] > logits[best]) best = i;
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// FixedBert
+// ---------------------------------------------------------------------------
+
+MatI FixedBert::embed(const std::vector<std::size_t>& tokens) const {
+  const auto& cfg = w_.config;
+  // Row lookup (== X[0] * WE, the protocols pay for the real matmul) plus
+  // positional bias, then truncation to the raw format.
+  MatI x(cfg.tokens, cfg.d_model);
+  const std::int64_t one = fp_encode(1.0, w_.fmt);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    for (std::size_t j = 0; j < cfg.d_model; ++j) {
+      const std::int64_t acc =
+          one * w_.we(tokens[i], j) + (w_.pos(i, j) << w_.fmt.frac_bits);
+      x(i, j) = fp_truncate(acc, w_.fmt);
+    }
+  }
+  return x;
+}
+
+MatI FixedBert::encoder_block(const MatI& x, const BlockWeightsI& blk) const {
+  const auto& cfg = w_.config;
+  const auto& fmt = w_.fmt;
+  const std::size_t dh = cfg.head_dim();
+
+  const MatI q = fixed_truncate(fixed_linear_acc(x, blk.wq, &blk.b_q, fmt), fmt);
+  const MatI k = fixed_truncate(fixed_linear_acc(x, blk.wk, &blk.b_k, fmt), fmt);
+  const MatI v = fixed_truncate(fixed_linear_acc(x, blk.wv, &blk.b_v, fmt), fmt);
+
+  MatI attn(cfg.tokens, cfg.d_model);
+  std::vector<std::int64_t> scores(cfg.tokens);
+  for (std::size_t h = 0; h < cfg.heads; ++h) {
+    const std::size_t off = h * dh;
+    for (std::size_t i = 0; i < cfg.tokens; ++i) {
+      // Q x K^T accumulation stays untruncated (2*frac bits), exactly as the
+      // FHGS shares hold it; the softmax reference applies frac_shift.
+      for (std::size_t j = 0; j < cfg.tokens; ++j) {
+        std::int64_t dot = 0;
+        for (std::size_t c = 0; c < dh; ++c) {
+          dot += q(i, off + c) * k(j, off + c);
+        }
+        scores[j] = dot;
+      }
+      const auto p = fixed_softmax_reference(
+          scores, static_cast<std::size_t>(fmt.frac_bits), fmt);
+      for (std::size_t c = 0; c < dh; ++c) {
+        std::int64_t acc = 0;
+        for (std::size_t j = 0; j < cfg.tokens; ++j) {
+          acc += p[j] * v(j, off + c);
+        }
+        attn(i, off + c) = fp_truncate(acc, fmt);
+      }
+    }
+  }
+
+  const MatI proj =
+      fixed_truncate(fixed_linear_acc(attn, blk.wo, &blk.b_o, fmt), fmt);
+  MatI res1(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    res1.data()[i] = fp_saturate(x.data()[i] + proj.data()[i], fmt);
+  }
+  const MatI ln1 = fixed_layernorm(res1, blk.ln1_gamma, blk.ln1_beta, fmt);
+
+  const MatI ff_acc = fixed_linear_acc(ln1, blk.w1, &blk.b_1, fmt);
+  MatI ff(ff_acc.rows(), ff_acc.cols());
+  for (std::size_t i = 0; i < ff_acc.size(); ++i) {
+    ff.data()[i] = activation_reference(
+        ff_acc.data()[i], static_cast<std::size_t>(fmt.frac_bits),
+        Activation::kGelu, fmt);
+  }
+  const MatI ff2 =
+      fixed_truncate(fixed_linear_acc(ff, blk.w2, &blk.b_2, fmt), fmt);
+  MatI res2(ln1.rows(), ln1.cols());
+  for (std::size_t i = 0; i < ln1.size(); ++i) {
+    res2.data()[i] = fp_saturate(ln1.data()[i] + ff2.data()[i], fmt);
+  }
+  return fixed_layernorm(res2, blk.ln2_gamma, blk.ln2_beta, fmt);
+}
+
+std::vector<std::int64_t> FixedBert::classify(const MatI& hidden) const {
+  const auto& cfg = w_.config;
+  std::vector<std::int64_t> logits(cfg.num_classes);
+  for (std::size_t c = 0; c < cfg.num_classes; ++c) {
+    std::int64_t acc = w_.b_cls[c] << w_.fmt.frac_bits;
+    for (std::size_t j = 0; j < cfg.d_model; ++j) {
+      acc += hidden(0, j) * w_.w_cls(j, c);
+    }
+    logits[c] = fp_truncate(acc, w_.fmt);
+  }
+  return logits;
+}
+
+std::vector<std::int64_t> FixedBert::forward(
+    const std::vector<std::size_t>& tokens) const {
+  MatI x = embed(tokens);
+  for (const auto& blk : w_.blocks) x = encoder_block(x, blk);
+  return classify(x);
+}
+
+std::size_t FixedBert::predict(const std::vector<std::size_t>& tokens) const {
+  const auto logits = forward(tokens);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < logits.size(); ++i) {
+    if (logits[i] > logits[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace primer

@@ -1,0 +1,128 @@
+#include "nn/thex.h"
+
+namespace primer {
+
+namespace {
+
+// relu(x)/sum(relu(x)) on fixed-point scores (the THE-X softmax surrogate).
+std::vector<std::int64_t> relu_softmax(const std::vector<std::int64_t>& x,
+                                       std::size_t frac_shift,
+                                       const FixedPointFormat& fmt) {
+  std::vector<std::int64_t> v(x.size());
+  std::int64_t sum = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    v[i] = std::max<std::int64_t>(0, fp_saturate(x[i] >> frac_shift, fmt));
+    sum += v[i];
+  }
+  std::vector<std::int64_t> out(x.size());
+  if (sum == 0) {
+    // Degenerate row: uniform attention.
+    const std::int64_t u = fmt.scale() / static_cast<std::int64_t>(x.size());
+    for (auto& o : out) o = u;
+    return out;
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = (v[i] << fmt.frac_bits) / sum;
+  }
+  return out;
+}
+
+MatI approx_layernorm(const MatI& x, const std::vector<std::int64_t>& gamma,
+                      const std::vector<std::int64_t>& beta,
+                      std::int64_t rstd_raw, const FixedPointFormat& fmt) {
+  MatI out(x.rows(), x.cols());
+  const auto d = static_cast<std::int64_t>(x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    std::int64_t sum = 0;
+    for (std::size_t j = 0; j < x.cols(); ++j) sum += x(i, j);
+    const std::int64_t mean = sum / d;
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      const std::int64_t c = x(i, j) - mean;
+      const std::int64_t norm =
+          fp_saturate((c * rstd_raw) >> fmt.frac_bits, fmt);
+      out(i, j) =
+          fp_saturate(((norm * gamma[j]) >> fmt.frac_bits) + beta[j], fmt);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> thex_fixed_forward(
+    const BertWeightsI& w, const std::vector<std::size_t>& tokens,
+    const ThexOptions& opt) {
+  const auto& cfg = w.config;
+  const auto& fmt = w.fmt;
+  const std::size_t dh = cfg.head_dim();
+  const auto frac = static_cast<std::size_t>(fmt.frac_bits);
+  const std::int64_t rstd_raw = fp_encode(opt.calibrated_rstd, fmt);
+
+  const FixedBert helper(w);
+  MatI x = helper.embed(tokens);
+
+  std::vector<std::int64_t> scores(cfg.tokens);
+  for (const auto& blk : w.blocks) {
+    const MatI q = fixed_truncate(fixed_linear_acc(x, blk.wq, &blk.b_q, fmt), fmt);
+    const MatI k = fixed_truncate(fixed_linear_acc(x, blk.wk, &blk.b_k, fmt), fmt);
+    const MatI v = fixed_truncate(fixed_linear_acc(x, blk.wv, &blk.b_v, fmt), fmt);
+
+    MatI attn(cfg.tokens, cfg.d_model);
+    for (std::size_t h = 0; h < cfg.heads; ++h) {
+      const std::size_t off = h * dh;
+      for (std::size_t i = 0; i < cfg.tokens; ++i) {
+        for (std::size_t j = 0; j < cfg.tokens; ++j) {
+          std::int64_t dot = 0;
+          for (std::size_t c = 0; c < dh; ++c) dot += q(i, off + c) * k(j, off + c);
+          scores[j] = dot;
+        }
+        const auto p = relu_softmax(scores, frac, fmt);
+        for (std::size_t c = 0; c < dh; ++c) {
+          std::int64_t acc = 0;
+          for (std::size_t j = 0; j < cfg.tokens; ++j) {
+            acc += p[j] * v(j, off + c);
+          }
+          attn(i, off + c) = fp_truncate(acc, fmt);
+        }
+      }
+    }
+
+    const MatI proj =
+        fixed_truncate(fixed_linear_acc(attn, blk.wo, &blk.b_o, fmt), fmt);
+    MatI res1(x.rows(), x.cols());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      res1.data()[i] = fp_saturate(x.data()[i] + proj.data()[i], fmt);
+    }
+    const MatI ln1 =
+        approx_layernorm(res1, blk.ln1_gamma, blk.ln1_beta, rstd_raw, fmt);
+
+    const MatI ff_acc = fixed_linear_acc(ln1, blk.w1, &blk.b_1, fmt);
+    MatI ff(ff_acc.rows(), ff_acc.cols());
+    for (std::size_t i = 0; i < ff_acc.size(); ++i) {
+      // GELU -> ReLU under THE-X.
+      ff.data()[i] = activation_reference(ff_acc.data()[i], frac,
+                                          Activation::kRelu, fmt);
+    }
+    const MatI ff2 =
+        fixed_truncate(fixed_linear_acc(ff, blk.w2, &blk.b_2, fmt), fmt);
+    MatI res2(ln1.rows(), ln1.cols());
+    for (std::size_t i = 0; i < ln1.size(); ++i) {
+      res2.data()[i] = fp_saturate(ln1.data()[i] + ff2.data()[i], fmt);
+    }
+    x = approx_layernorm(res2, blk.ln2_gamma, blk.ln2_beta, rstd_raw, fmt);
+  }
+  return helper.classify(x);
+}
+
+std::size_t thex_predict(const BertWeightsI& w,
+                         const std::vector<std::size_t>& tokens,
+                         const ThexOptions& opt) {
+  const auto logits = thex_fixed_forward(w, tokens, opt);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < logits.size(); ++i) {
+    if (logits[i] > logits[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace primer

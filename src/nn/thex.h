@@ -1,0 +1,35 @@
+// THE-X-style approximation model (accuracy baseline).
+//
+// THE-X [Chen et al., ACL 2022] runs the whole Transformer under FHE, which
+// forces polynomial replacements of the non-linearities:
+//   softmax(x)  ->  relu(x) / sum(relu(x))      ("ReLU-softmax")
+//   GELU(x)     ->  ReLU(x)                      (polynomial-friendly)
+//   LayerNorm   ->  affine approximation with a calibrated constant 1/std
+//                   instead of the per-row reciprocal square root.
+// These substitutions are what costs THE-X the ~7-8 accuracy points the
+// paper reports (77.3% vs 84.6% on MNLI-m).  This module provides the
+// fixed-point forward pass with those approximations so the accuracy
+// experiments can measure the gap on the same weights.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace primer {
+
+struct ThexOptions {
+  // Calibrated constant reciprocal-std used in place of per-row rsqrt.
+  double calibrated_rstd = 1.0;
+};
+
+std::vector<std::int64_t> thex_fixed_forward(
+    const BertWeightsI& w, const std::vector<std::size_t>& tokens,
+    const ThexOptions& opt = ThexOptions{});
+
+std::size_t thex_predict(const BertWeightsI& w,
+                         const std::vector<std::size_t>& tokens,
+                         const ThexOptions& opt = ThexOptions{});
+
+}  // namespace primer

@@ -1,0 +1,130 @@
+#include "nn/train.h"
+
+#include <cmath>
+
+#include "nn/thex.h"
+
+namespace primer {
+
+SyntheticTask SyntheticTask::generate(const BertConfig& cfg, std::size_t count,
+                                      Rng& rng) {
+  SyntheticTask task;
+  const std::size_t v = cfg.vocab;
+  for (std::size_t s = 0; s < count; ++s) {
+    // Pick a class, then draw most tokens from that class's vocabulary
+    // third — a clearly learnable "topic classification" signal.
+    const std::size_t label = rng.uniform(3);
+    std::vector<std::size_t> tokens(cfg.tokens);
+    for (auto& t : tokens) {
+      if (rng.uniform_real() < 0.75) {
+        t = (label * v) / 3 + rng.uniform(v / 3);
+      } else {
+        t = rng.uniform(v);
+      }
+    }
+    task.inputs.push_back(std::move(tokens));
+    task.labels.push_back(label);
+  }
+  return task;
+}
+
+namespace {
+
+// Pooled feature vector: the float model's final first-token hidden state.
+std::vector<double> pooled_features(const BertWeightsD& w,
+                                    const std::vector<std::size_t>& tokens) {
+  // Re-runs the body with an identity classifier to extract hidden(0,:).
+  BertWeightsD probe = w;
+  probe.config.num_classes = w.config.d_model;
+  probe.w_cls = MatD::identity(w.config.d_model);
+  probe.b_cls.assign(w.config.d_model, 0.0);
+  const FloatBert model(probe);
+  return model.forward(tokens);
+}
+
+std::vector<double> softmax_vec(const std::vector<double>& z) {
+  double m = z[0];
+  for (const double v : z) m = std::max(m, v);
+  double sum = 0;
+  std::vector<double> e(z.size());
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    e[i] = std::exp(z[i] - m);
+    sum += e[i];
+  }
+  for (auto& v : e) v /= sum;
+  return e;
+}
+
+}  // namespace
+
+TrainReport train_and_evaluate(BertWeightsD& weights, std::size_t train_count,
+                               std::size_t test_count, int epochs, Rng& rng) {
+  const auto& cfg = weights.config;
+  const auto task = SyntheticTask::generate(cfg, train_count + test_count, rng);
+
+  // Cache features for the training split (the body is frozen).
+  std::vector<std::vector<double>> feats(train_count);
+  for (std::size_t i = 0; i < train_count; ++i) {
+    feats[i] = pooled_features(weights, task.inputs[i]);
+  }
+
+  // SGD on the linear head with softmax cross-entropy.
+  const std::size_t d = cfg.d_model;
+  const std::size_t k = cfg.num_classes;
+  MatD wcls(d, k);
+  std::vector<double> bcls(k, 0.0);
+  const double lr = 0.05;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    for (std::size_t i = 0; i < train_count; ++i) {
+      std::vector<double> z(k, 0.0);
+      for (std::size_t c = 0; c < k; ++c) {
+        double acc = bcls[c];
+        for (std::size_t j = 0; j < d; ++j) acc += feats[i][j] * wcls(j, c);
+        z[c] = acc;
+      }
+      const auto p = softmax_vec(z);
+      for (std::size_t c = 0; c < k; ++c) {
+        const double g = p[c] - (c == task.labels[i] ? 1.0 : 0.0);
+        bcls[c] -= lr * g;
+        for (std::size_t j = 0; j < d; ++j) {
+          wcls(j, c) -= lr * g * feats[i][j];
+        }
+      }
+    }
+  }
+  // Clamp the head into the representable fixed-point range.
+  for (auto& v : wcls.data()) v = std::clamp(v, -8.0, 8.0);
+  weights.w_cls = wcls;
+  weights.b_cls = bcls;
+
+  TrainReport report;
+  report.test_count = test_count;
+  std::size_t train_ok = 0;
+  {
+    const FloatBert model(weights);
+    for (std::size_t i = 0; i < train_count; ++i) {
+      train_ok += (model.predict(task.inputs[i]) == task.labels[i]);
+    }
+  }
+  report.train_accuracy =
+      static_cast<double>(train_ok) / static_cast<double>(train_count);
+
+  const FloatBert fmodel(weights);
+  const auto q = quantize(weights);
+  const FixedBert xmodel(q);
+  std::size_t f_ok = 0, x_ok = 0, t_ok = 0;
+  for (std::size_t i = train_count; i < train_count + test_count; ++i) {
+    const auto& in = task.inputs[i];
+    const auto label = task.labels[i];
+    f_ok += (fmodel.predict(in) == label);
+    x_ok += (xmodel.predict(in) == label);
+    t_ok += (thex_predict(q, in) == label);
+  }
+  const auto tc = static_cast<double>(test_count);
+  report.float_accuracy = static_cast<double>(f_ok) / tc;
+  report.fixed_accuracy = static_cast<double>(x_ok) / tc;
+  report.thex_accuracy = static_cast<double>(t_ok) / tc;
+  return report;
+}
+
+}  // namespace primer

@@ -1,0 +1,44 @@
+// Accuracy-experiment substrate.
+//
+// We cannot train BERT on GLUE on one CPU core, and the GLUE/SQuAD data is
+// not available offline, so the accuracy columns of the paper's tables are
+// reproduced on a SYNTHETIC classification task (DESIGN.md §2): a frozen
+// random Transformer body acts as a feature extractor and a linear
+// classification head is trained with softmax cross-entropy SGD — enough to
+// get a model whose accuracy is meaningfully above chance, so that the
+// degradation introduced by (a) 15-bit fixed point with exact GC
+// non-linearities (= Primer) and (b) THE-X's polynomial approximations can
+// be measured as accuracy deltas, mirroring the paper's 84.6% vs 77.3%.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace primer {
+
+struct SyntheticTask {
+  std::vector<std::vector<std::size_t>> inputs;  // token sequences
+  std::vector<std::size_t> labels;               // < num_classes
+
+  // Sequences whose label depends on simple token statistics (learnable
+  // through random features): class by the balance of low/mid/high tokens.
+  static SyntheticTask generate(const BertConfig& cfg, std::size_t count,
+                                Rng& rng);
+};
+
+struct TrainReport {
+  double train_accuracy = 0;
+  double float_accuracy = 0;   // float model on held-out set
+  double fixed_accuracy = 0;   // FixedBert (Primer arithmetic)
+  double thex_accuracy = 0;    // THE-X approximations
+  std::size_t test_count = 0;
+};
+
+// Trains the classifier head of `weights` (in place) on a synthetic task and
+// evaluates float vs fixed vs THE-X accuracy on a held-out split.
+TrainReport train_and_evaluate(BertWeightsD& weights, std::size_t train_count,
+                               std::size_t test_count, int epochs, Rng& rng);
+
+}  // namespace primer

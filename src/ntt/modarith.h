@@ -1,0 +1,112 @@
+// Modular arithmetic over word-sized primes (< 2^62) used by the RNS-BFV
+// scheme.  Multiplication goes through unsigned 128-bit intermediates; a
+// precomputed Barrett constant accelerates reduction in the NTT hot loop.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace primer {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+using i64 = std::int64_t;
+
+inline u64 add_mod(u64 a, u64 b, u64 m) {
+  const u64 s = a + b;  // no overflow: moduli < 2^62
+  return s >= m ? s - m : s;
+}
+
+inline u64 sub_mod(u64 a, u64 b, u64 m) { return a >= b ? a - b : a + m - b; }
+
+inline u64 neg_mod(u64 a, u64 m) { return a == 0 ? 0 : m - a; }
+
+inline u64 mul_mod(u64 a, u64 b, u64 m) {
+  return static_cast<u64>((static_cast<u128>(a) * b) % m);
+}
+
+inline u64 pow_mod(u64 base, u64 exp, u64 m) {
+  u64 result = 1 % m;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = mul_mod(result, base, m);
+    base = mul_mod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+// Modular inverse via extended Euclid.  Throws if gcd(a, m) != 1.
+inline u64 inv_mod(u64 a, u64 m) {
+  i64 t = 0, new_t = 1;
+  i64 r = static_cast<i64>(m), new_r = static_cast<i64>(a % m);
+  while (new_r != 0) {
+    const i64 q = r / new_r;
+    t -= q * new_t;
+    std::swap(t, new_t);
+    r -= q * new_r;
+    std::swap(r, new_r);
+  }
+  if (r != 1) throw std::invalid_argument("inv_mod: not invertible");
+  if (t < 0) t += static_cast<i64>(m);
+  return static_cast<u64>(t);
+}
+
+// Barrett reducer: floor-division-free reduction modulo a fixed m < 2^62.
+class Barrett {
+ public:
+  Barrett() = default;
+  explicit Barrett(u64 m) : m_(m) {
+    // ratio = floor(2^128 / m).  For prime m (never a power of two) this
+    // equals floor((2^128 - 1) / m), which u128 arithmetic gives directly.
+    const u128 ratio = ~static_cast<u128>(0) / m;
+    ratio_hi_ = static_cast<u64>(ratio >> 64);
+    ratio_lo_ = static_cast<u64>(ratio);
+  }
+
+  u64 modulus() const { return m_; }
+
+  // Returns a mod m for a < 2^64.
+  u64 reduce(u64 a) const {
+    // q = floor(a * ratio / 2^128) where ratio = floor(2^128/m):
+    // since a < 2^64, a*ratio_hi contributes the needed bits.
+    const u128 q = (static_cast<u128>(a) * ratio_hi_) >> 64;
+    u64 r = a - static_cast<u64>(q) * m_;
+    while (r >= m_) r -= m_;
+    return r;
+  }
+
+  // Full 128-bit reduction (for products of two residues).
+  u64 reduce128(u128 a) const { return static_cast<u64>(a % m_); }
+
+  u64 mul(u64 a, u64 b) const {
+    return reduce128(static_cast<u128>(a) * b);
+  }
+
+ private:
+  u64 m_ = 0;
+  u64 ratio_hi_ = 0;
+  u64 ratio_lo_ = 0;
+};
+
+// Shoup precomputed-quotient multiplication: for a fixed operand w modulo m,
+// mul_shoup(x) computes w*x mod m with one 64x64 high-half multiply and one
+// subtraction.  This is the standard trick that makes software NTTs fast
+// (used by SEAL, HElib, HEXL).
+struct ShoupMul {
+  u64 operand = 0;  // w
+  u64 quotient = 0; // floor(w * 2^64 / m)
+
+  ShoupMul() = default;
+  ShoupMul(u64 w, u64 m)
+      : operand(w),
+        quotient(static_cast<u64>((static_cast<u128>(w) << 64) / m)) {}
+
+  u64 mul(u64 x, u64 m) const {
+    const u64 hi = static_cast<u64>((static_cast<u128>(x) * quotient) >> 64);
+    const u64 r = operand * x - hi * m;  // in [0, 2m)
+    return r >= m ? r - m : r;
+  }
+};
+
+}  // namespace primer

@@ -1,0 +1,50 @@
+// Negacyclic number-theoretic transform over Z_p[x]/(x^n + 1).
+//
+// The transform folds multiplication by powers of psi (a primitive 2n-th
+// root of unity) into the butterfly twiddles, so forward() maps coefficient
+// vectors to evaluations at odd powers of psi and pointwise products in the
+// transformed domain correspond to negacyclic convolution — exactly the
+// polynomial product the BFV ring needs.  Implementation follows the
+// standard Cooley–Tukey (decimation in time, bit-reversed twiddles) /
+// Gentleman–Sande (inverse) pair with Shoup lazy multiplication.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ntt/modarith.h"
+
+namespace primer {
+
+class Ntt {
+ public:
+  // `n` must be a power of two; `p` must satisfy p ≡ 1 (mod 2n).
+  Ntt(std::size_t n, u64 p);
+
+  std::size_t degree() const { return n_; }
+  u64 modulus() const { return p_; }
+
+  // In-place forward negacyclic NTT (coefficient -> evaluation domain).
+  void forward(std::vector<u64>& a) const;
+
+  // In-place inverse transform (evaluation -> coefficient domain).
+  void inverse(std::vector<u64>& a) const;
+
+  // out[i] = a[i] * b[i] mod p.
+  void pointwise(const std::vector<u64>& a, const std::vector<u64>& b,
+                 std::vector<u64>& out) const;
+
+  // Full negacyclic polynomial product a * b mod (x^n + 1, p).
+  std::vector<u64> negacyclic_multiply(std::vector<u64> a,
+                                       std::vector<u64> b) const;
+
+ private:
+  std::size_t n_;
+  int log_n_;
+  u64 p_;
+  std::vector<ShoupMul> fwd_twiddles_;  // psi powers, bit-reversed order
+  std::vector<ShoupMul> inv_twiddles_;  // psi^-1 powers, bit-reversed order
+  ShoupMul n_inv_;
+};
+
+}  // namespace primer

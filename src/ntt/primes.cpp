@@ -1,0 +1,112 @@
+#include "ntt/primes.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace primer {
+
+namespace {
+
+// Deterministic Miller–Rabin witness set covering all n < 2^64.
+constexpr std::array<u64, 12> kWitnesses = {2,  3,  5,  7,  11, 13,
+                                            17, 19, 23, 29, 31, 37};
+
+bool miller_rabin(u64 n, u64 a) {
+  if (a % n == 0) return true;
+  u64 d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  u64 x = pow_mod(a, d, n);
+  if (x == 1 || x == n - 1) return true;
+  for (int i = 0; i < r - 1; ++i) {
+    x = mul_mod(x, x, n);
+    if (x == n - 1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_prime_u64(u64 n) {
+  if (n < 2) return false;
+  for (u64 p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL,
+                29ULL, 31ULL, 37ULL}) {
+    if (n == p) return true;
+    if (n % p == 0) return false;
+  }
+  for (u64 a : kWitnesses) {
+    if (!miller_rabin(n, a)) return false;
+  }
+  return true;
+}
+
+std::vector<u64> generate_ntt_primes(int bits, std::size_t poly_degree,
+                                     std::size_t count) {
+  if (bits < 20 || bits > 62) {
+    throw std::invalid_argument("generate_ntt_primes: bits must be in [20,62]");
+  }
+  const u64 two_n = 2 * static_cast<u64>(poly_degree);
+  std::vector<u64> primes;
+  // Start at the largest value < 2^bits that is ≡ 1 mod 2n.
+  u64 candidate = (u64{1} << bits) - 1;
+  candidate -= (candidate - 1) % two_n;  // now candidate ≡ 1 (mod 2n)
+  const u64 lower = u64{1} << (bits - 1);
+  while (primes.size() < count && candidate > lower) {
+    if (is_prime_u64(candidate)) primes.push_back(candidate);
+    if (candidate < two_n) break;
+    candidate -= two_n;
+  }
+  if (primes.size() < count) {
+    throw std::runtime_error("generate_ntt_primes: exhausted candidate range");
+  }
+  return primes;
+}
+
+u64 first_ntt_prime_at_least(u64 floor_value, std::size_t poly_degree) {
+  const u64 two_n = 2 * static_cast<u64>(poly_degree);
+  u64 candidate = floor_value + ((two_n + 1 - (floor_value % two_n)) % two_n);
+  if (candidate < floor_value) candidate += two_n;
+  // candidate ≡ 1 (mod 2n) and >= floor_value.
+  while (!is_prime_u64(candidate)) candidate += two_n;
+  return candidate;
+}
+
+u64 find_group_generator(u64 p) {
+  // Factor p-1 (trial division — fine for our 20–60-bit moduli).
+  u64 n = p - 1;
+  std::vector<u64> factors;
+  for (u64 f = 2; f * f <= n; ++f) {
+    if (n % f == 0) {
+      factors.push_back(f);
+      while (n % f == 0) n /= f;
+    }
+  }
+  if (n > 1) factors.push_back(n);
+
+  for (u64 g = 2; g < p; ++g) {
+    bool ok = true;
+    for (u64 f : factors) {
+      if (pow_mod(g, (p - 1) / f, p) == 1) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return g;
+  }
+  throw std::runtime_error("find_group_generator: no generator found");
+}
+
+u64 find_primitive_root(u64 p, std::size_t two_n) {
+  if ((p - 1) % two_n != 0) {
+    throw std::invalid_argument("find_primitive_root: p != 1 mod 2n");
+  }
+  const u64 g = find_group_generator(p);
+  const u64 root = pow_mod(g, (p - 1) / two_n, p);
+  // root has order exactly 2n because g is a generator.
+  return root;
+}
+
+}  // namespace primer

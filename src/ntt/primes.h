@@ -1,0 +1,30 @@
+// Generation of NTT-friendly primes: p ≡ 1 (mod 2n) so that the 2n-th root
+// of unity needed by the negacyclic NTT exists in Z_p.  Primality is checked
+// with deterministic Miller–Rabin (valid for all 64-bit integers with the
+// standard 12-witness set).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ntt/modarith.h"
+
+namespace primer {
+
+bool is_prime_u64(u64 n);
+
+// Returns `count` distinct primes of exactly `bits` bits with p ≡ 1 mod 2n,
+// scanning downward from 2^bits.  Throws if the range is exhausted.
+std::vector<u64> generate_ntt_primes(int bits, std::size_t poly_degree,
+                                     std::size_t count);
+
+// Smallest prime >= floor with p ≡ 1 mod 2n (used for plaintext modulus t).
+u64 first_ntt_prime_at_least(u64 floor_value, std::size_t poly_degree);
+
+// A generator of the multiplicative group Z_p^* (p prime).
+u64 find_group_generator(u64 p);
+
+// A primitive 2n-th root of unity modulo p (requires p ≡ 1 mod 2n).
+u64 find_primitive_root(u64 p, std::size_t two_n);
+
+}  // namespace primer

@@ -1,0 +1,98 @@
+// Attention product protocols.
+//
+// FhgsProduct — the paper's Fully-HGS protocol (Fig. 5): Beaver-style
+// offline triples (Enc(Ra), Enc(Rb^T), Enc(Ra*Rb)) turn the online
+// ciphertext-ciphertext product of two SHARED matrices A (n x k) and
+// B (k x m) into plaintext work plus two ciphertext-plaintext matmuls.
+//
+// CtCtProduct — the Primer-base fallback: genuine online ciphertext-
+// ciphertext multiplications (tensoring + relinearization + rotations),
+// the cost the paper identifies as prohibitive.
+//
+// ChgsScores — the combined-FHGS protocol (Fig. 6c): computes shares of the
+// attention scores U*Wqk*U^T (U = X*WE + lambda) directly from the one-hot
+// input, merging Embed + QKV(QK) + QxK into a single online interaction
+// with combined weights prepared offline.
+#pragma once
+
+#include <string>
+
+#include "proto/linear.h"
+#include "proto/runtime.h"
+
+namespace primer {
+
+// Shares of C = A * B (ring, untruncated accumulation domain).
+class FhgsProduct {
+ public:
+  // Shapes: A is n x k, B is k x m.  The client holds masks Ra, Rb; the
+  // server holds Da = A - Ra and Db = B - Rb (all ring matrices).
+  FhgsProduct(ProtocolContext& pc, std::size_t n, std::size_t k, std::size_t m)
+      : pc_(pc), n_(n), k_(k), m_(m),
+        mm_a_(pc.he, pc.encoder, pc.eval, PackingStrategy::kTokensFirst),
+        mm_bt_(pc.he, pc.encoder, pc.eval, PackingStrategy::kTokensFirst) {}
+
+  // Offline: client sends the triple Enc(Ra), Enc(Rb^T), Enc(Ra*Rb).
+  void offline(const std::string& step_name, const MatI& ra, const MatI& rb);
+
+  // Online: server computes shares of A*B from Da, Db.
+  LinearShares online(const std::string& step_name, const MatI& da,
+                      const MatI& db);
+
+ private:
+  ProtocolContext& pc_;
+  std::size_t n_, k_, m_;
+  PackedMatmul mm_a_;   // Enc(Ra): n tokens x k features
+  PackedMatmul mm_bt_;  // Enc(Rb^T): m tokens x k features
+  std::vector<Ciphertext> enc_ra_;     // server-held after offline
+  std::vector<Ciphertext> enc_rbt_;
+  std::vector<Ciphertext> enc_rarb_;   // packed in the n x m output layout
+};
+
+// Primer-base online ciphertext-ciphertext product of shared matrices.
+class CtCtProduct {
+ public:
+  CtCtProduct(ProtocolContext& pc, std::size_t n, std::size_t k, std::size_t m)
+      : pc_(pc), n_(n), k_(k), m_(m),
+        mm_a_(pc.he, pc.encoder, pc.eval, PackingStrategy::kFeatureBased),
+        mm_bt_(pc.he, pc.encoder, pc.eval, PackingStrategy::kFeatureBased) {}
+
+  // Everything online: the ct-ct cross term Ac*Bc plus two ct-pt terms and
+  // one plaintext term.  Requires relin + power-of-two rotation keys.
+  LinearShares online(const std::string& step_name, const MatI& ac,
+                      const MatI& as, const MatI& bc, const MatI& bs);
+
+ private:
+  ProtocolContext& pc_;
+  std::size_t n_, k_, m_;
+  PackedMatmul mm_a_;
+  PackedMatmul mm_bt_;
+};
+
+// Combined FHGS for the attention scores of one head.
+class ChgsScores {
+ public:
+  // we: vocab x d, pos: n x d (lambda), wq/wk: d x d head slices (d x dh).
+  // Computes shares of (X*WE + pos) * wq * wk^T * (X*WE + pos)^T, n x n.
+  ChgsScores(ProtocolContext& pc, std::size_t tokens, const MatI& we,
+             const MatI& pos, const MatI& wq_h, const MatI& wk_h);
+
+  // Offline: combined-weight precomputation + the Rc-dependent triple.
+  // `r0` is the client's mask on the one-hot input X.
+  void offline(const std::string& step_name, const MatI& r0);
+
+  // Online: server holds d0 = X - R0; one interaction yields score shares.
+  LinearShares online(const std::string& step_name, const MatI& d0);
+
+ private:
+  ProtocolContext& pc_;
+  std::size_t n_;
+  MatI we_, pos_, wqk_;       // wqk = wq_h * wk_h^T (raw-domain ring product)
+  MatI w_m_;                  // WE * Wqk * WE^T (ring)
+  PackedMatmul mm_;
+  std::vector<Ciphertext> enc_r0_;
+  MatI term4_client_;         // client share of R0*W_M*R0^T (offline)
+  MatI term4_server_;         // server share (offline)
+};
+
+}  // namespace primer

@@ -1,0 +1,239 @@
+#include "proto/packing.h"
+
+#include <stdexcept>
+
+#include "common/fixed_point.h"
+
+namespace primer {
+
+namespace {
+
+// The Horner-style accumulation
+//     S = rot(S, step) + in * P'_k
+// performs every plaintext multiplication on the *fresh* input ciphertext
+// (bounded noise) while executing exactly the K-1 Rotate operations the
+// paper's Fig. 6 loops count — one alignment per feature block
+// (tokens-first) or per slot (feature-based).  P'_k is the alignment mask
+// pre-rotated (a free plaintext operation on the server).
+std::vector<u64> rotate_right_plain(const std::vector<u64>& v,
+                                    std::size_t amount, std::size_t row) {
+  std::vector<u64> out(v.size(), 0);
+  for (std::size_t s = 0; s < row; ++s) {
+    out[(s + amount) % row] = v[s];
+  }
+  return out;
+}
+
+bool all_zero(const std::vector<u64>& v) {
+  for (const u64 x : v) {
+    if (x != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+PackedMatmulStats packed_matmul_counts(PackingStrategy strategy,
+                                       std::size_t tokens, std::size_t d_in,
+                                       std::size_t d_out, std::size_t slots) {
+  // Rotation accounting follows the paper's Fig. 6 loops: each rotated copy
+  // of an input ciphertext is REUSED across outputs (line 11 hoists the
+  // Rotate out of the g-loop), so rotations scale with input ciphertexts
+  // times alignments, while plaintext multiplications additionally scale
+  // with the number of output ciphertexts.
+  PackedMatmulStats s;
+  const std::size_t m = slots;
+  if (strategy == PackingStrategy::kTokensFirst) {
+    const std::size_t fpc = std::max<std::size_t>(1, m / tokens);
+    const std::size_t cts = (d_in + fpc - 1) / fpc;
+    const std::size_t k = std::min(fpc, d_in);
+    s.input_ciphertexts = cts;
+    s.output_ciphertexts = (tokens * d_out + m - 1) / m;
+    s.rotations = cts * (k - 1);
+    s.plain_mults = cts * k * s.output_ciphertexts;
+    s.adds = s.plain_mults;
+  } else {
+    const std::size_t cts = (tokens * d_in + m - 1) / m;
+    s.input_ciphertexts = cts;
+    s.output_ciphertexts = (tokens * d_out + m - 1) / m;
+    s.rotations = cts * (m - 1);
+    s.plain_mults = cts * m * s.output_ciphertexts;
+    s.adds = s.plain_mults;
+  }
+  return s;
+}
+
+PackedMatmul::PackedMatmul(const HeContext& ctx, const BatchEncoder& encoder,
+                           const Evaluator& eval, PackingStrategy strategy)
+    : ctx_(ctx), encoder_(encoder), eval_(eval), strategy_(strategy) {}
+
+int PackedMatmul::rotation_step(std::size_t tokens) const {
+  return strategy_ == PackingStrategy::kTokensFirst ? static_cast<int>(tokens)
+                                                    : 1;
+}
+
+std::vector<Ciphertext> PackedMatmul::encrypt_input(
+    const MatI& x_ring, const Encryptor& enc) const {
+  const std::size_t row = encoder_.row_size();
+  const std::size_t n = x_ring.rows();
+  const std::size_t d_in = x_ring.cols();
+  std::vector<Ciphertext> out;
+
+  if (strategy_ == PackingStrategy::kTokensFirst) {
+    const std::size_t fpc = row / n;
+    if (fpc == 0) {
+      throw std::invalid_argument("tokens-first: tokens exceed slot row");
+    }
+    const std::size_t cts = (d_in + fpc - 1) / fpc;
+    for (std::size_t ci = 0; ci < cts; ++ci) {
+      std::vector<u64> slots(row, 0);
+      for (std::size_t b = 0; b < fpc; ++b) {
+        const std::size_t j = ci * fpc + b;
+        if (j >= d_in) break;
+        for (std::size_t i = 0; i < n; ++i) {
+          slots[b * n + i] = static_cast<u64>(x_ring(i, j));
+        }
+      }
+      out.push_back(enc.encrypt(encoder_.encode(slots)));
+    }
+  } else {
+    const std::size_t total = n * d_in;
+    const std::size_t cts = (total + row - 1) / row;
+    for (std::size_t ci = 0; ci < cts; ++ci) {
+      std::vector<u64> slots(row, 0);
+      for (std::size_t s = 0; s < row; ++s) {
+        const std::size_t l = ci * row + s;  // row-major (token, feature)
+        if (l >= total) break;
+        slots[s] = static_cast<u64>(x_ring(l / d_in, l % d_in));
+      }
+      out.push_back(enc.encrypt(encoder_.encode(slots)));
+    }
+  }
+  return out;
+}
+
+std::vector<Ciphertext> PackedMatmul::multiply(
+    const std::vector<Ciphertext>& packed, const MatI& w_raw,
+    std::size_t tokens, std::uint64_t t, const GaloisKeys& gk,
+    PackedMatmulStats* stats) const {
+  const std::size_t row = encoder_.row_size();
+  const std::size_t n = tokens;
+  const std::size_t d_in = w_raw.rows();
+  const std::size_t d_out = w_raw.cols();
+  const std::size_t fpc = row / n;  // blocks per ciphertext
+  if (fpc == 0) throw std::invalid_argument("PackedMatmul: tokens > row");
+
+  // Ring-encoded weights (centered fixed point lifted into Z_t).
+  std::vector<std::vector<u64>> w_ring(d_in, std::vector<u64>(d_out));
+  for (std::size_t j = 0; j < d_in; ++j) {
+    for (std::size_t o = 0; o < d_out; ++o) {
+      w_ring[j][o] = fp_to_ring(w_raw(j, o), t);
+    }
+  }
+
+  PackedMatmulStats local;
+  local.input_ciphertexts = packed.size();
+  const std::size_t out_cts = (d_out + fpc - 1) / fpc;
+  local.output_ciphertexts = out_cts;
+
+  const std::size_t iters =
+      strategy_ == PackingStrategy::kTokensFirst ? fpc : row;
+  const int step = rotation_step(n);
+
+  std::vector<Ciphertext> result(out_cts);
+  std::vector<bool> result_set(out_cts, false);
+
+  for (std::size_t oc = 0; oc < out_cts; ++oc) {
+    for (std::size_t ci = 0; ci < packed.size(); ++ci) {
+      // Build the Horner chain for (input ci, output ct oc).
+      Ciphertext acc;
+      bool acc_set = false;
+      for (std::size_t down = 0; down < iters; ++down) {
+        const std::size_t k = iters - 1 - down;
+        // Mask P_k: target slot layout is block b <-> output o = oc*fpc + b,
+        // slot b*n + i <-> token i.
+        std::vector<u64> mask(row, 0);
+        if (strategy_ == PackingStrategy::kTokensFirst) {
+          for (std::size_t b = 0; b < fpc; ++b) {
+            const std::size_t o = oc * fpc + b;
+            if (o >= d_out) break;
+            const std::size_t j = ci * fpc + ((b + k) % fpc);
+            if (j >= d_in || j >= (ci + 1) * fpc) continue;
+            for (std::size_t i = 0; i < n; ++i) {
+              mask[b * n + i] = w_ring[j][o];
+            }
+          }
+        } else {
+          for (std::size_t tl = 0; tl < row; ++tl) {
+            const std::size_t i = tl % n;
+            const std::size_t o = oc * fpc + tl / n;
+            if (o >= d_out) continue;
+            const std::size_t src = (tl + k) % row;
+            const std::size_t l = ci * row + src;
+            if (l >= n * d_in) continue;
+            if (l / d_in != i) continue;
+            mask[tl] = w_ring[l % d_in][o];
+          }
+        }
+
+        if (acc_set) {
+          eval_.rotate_rows_inplace(acc, step, gk);
+          ++local.rotations;
+        }
+        if (!all_zero(mask)) {
+          Ciphertext term = packed[ci];
+          const auto pre = rotate_right_plain(
+              mask, (k * static_cast<std::size_t>(step)) % row, row);
+          eval_.multiply_plain_inplace(term, encoder_.encode(pre));
+          ++local.plain_mults;
+          if (acc_set) {
+            eval_.add_inplace(acc, term);
+            ++local.adds;
+          } else {
+            acc = std::move(term);
+            acc_set = true;
+          }
+        } else if (!acc_set) {
+          // Nothing accumulated yet and nothing to add: the chain has not
+          // started, so no rotation is pending either.
+          continue;
+        }
+      }
+      if (!acc_set) continue;
+      if (result_set[oc]) {
+        eval_.add_inplace(result[oc], acc);
+        ++local.adds;
+      } else {
+        result[oc] = std::move(acc);
+        result_set[oc] = true;
+      }
+    }
+    if (!result_set[oc]) {
+      throw std::runtime_error("PackedMatmul: empty output ciphertext");
+    }
+  }
+
+  if (stats != nullptr) *stats += local;
+  return result;
+}
+
+MatI PackedMatmul::decrypt_result(const std::vector<Ciphertext>& result,
+                                  const Decryptor& dec, std::size_t tokens,
+                                  std::size_t d_out) const {
+  const std::size_t row = encoder_.row_size();
+  MatI out(tokens, d_out);
+  const std::size_t per_ct = row / tokens;  // output blocks per ciphertext
+  for (std::size_t rc = 0; rc < result.size(); ++rc) {
+    const auto slots = encoder_.decode(dec.decrypt(result[rc]));
+    for (std::size_t b = 0; b < per_ct; ++b) {
+      const std::size_t o = rc * per_ct + b;
+      if (o >= d_out) break;
+      for (std::size_t i = 0; i < tokens; ++i) {
+        out(i, o) = static_cast<std::int64_t>(slots[b * tokens + i]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace primer

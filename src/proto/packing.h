@@ -1,0 +1,91 @@
+// Ciphertext packing strategies for encrypted matrix multiplication (paper
+// §III-D, Fig. 6): the prior feature-based packing versus Primer's
+// tokens-first packing.
+//
+// Both compute  Enc(X) * W  where the client encrypts X (n tokens x d_in
+// features, ring values mod t) and the server holds the plaintext weights W
+// (d_in x d_out).  The quantity the paper optimizes is the number of
+// homomorphic Rotate operations:
+//
+//   feature-based : each input ciphertext is rotated through all M slot
+//                   alignments  ->  c * M rotations,
+//   tokens-first  : feature j of all n tokens shares a slot block, so only
+//                   block-granular alignments are needed  ->  c * M/n.
+//
+// Data occupies the first batching row (M = poly_degree / 2 slots) so that
+// Rotate == rotate_rows, matching SEAL semantics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "he/encoder.h"
+#include "he/he.h"
+
+namespace primer {
+
+enum class PackingStrategy { kFeatureBased, kTokensFirst };
+
+struct PackedMatmulStats {
+  std::uint64_t input_ciphertexts = 0;
+  std::uint64_t output_ciphertexts = 0;
+  std::uint64_t rotations = 0;
+  std::uint64_t plain_mults = 0;
+  std::uint64_t adds = 0;
+
+  PackedMatmulStats& operator+=(const PackedMatmulStats& o) {
+    input_ciphertexts += o.input_ciphertexts;
+    output_ciphertexts += o.output_ciphertexts;
+    rotations += o.rotations;
+    plain_mults += o.plain_mults;
+    adds += o.adds;
+    return *this;
+  }
+};
+
+// Pure operation-count model (no HE work) — used by the cost model to
+// extrapolate to BERT-scale dimensions.
+PackedMatmulStats packed_matmul_counts(PackingStrategy strategy,
+                                       std::size_t tokens, std::size_t d_in,
+                                       std::size_t d_out, std::size_t slots);
+
+// Executes the encrypted matmul live.  X entries are ring values mod t
+// (MatI with values in [0, t)); W entries are raw signed fixed-point.
+// Returns the decrypted ring-value result (n x d_out) — callers in the
+// protocols keep it masked; tests compare against the plain ring product.
+class PackedMatmul {
+ public:
+  PackedMatmul(const HeContext& ctx, const BatchEncoder& encoder,
+               const Evaluator& eval, PackingStrategy strategy);
+
+  // Client side: pack and encrypt X.
+  std::vector<Ciphertext> encrypt_input(const MatI& x_ring,
+                                        const Encryptor& enc) const;
+
+  // Server side: homomorphically compute X * W.  Output ciphertexts pack
+  // result column o into slot block (o mod fpc): slot (o*n + i) holds the
+  // (token i, output o) ring value.
+  std::vector<Ciphertext> multiply(const std::vector<Ciphertext>& packed,
+                                   const MatI& w_raw, std::size_t tokens,
+                                   std::uint64_t t, const GaloisKeys& gk,
+                                   PackedMatmulStats* stats) const;
+
+  // Client side: decrypt the result into an (n x d_out) ring matrix.
+  MatI decrypt_result(const std::vector<Ciphertext>& result,
+                      const Decryptor& dec, std::size_t tokens,
+                      std::size_t d_out) const;
+
+  // Rotation step the strategy uses (the only Galois key it needs).
+  int rotation_step(std::size_t tokens) const;
+
+  PackingStrategy strategy() const { return strategy_; }
+
+ private:
+  const HeContext& ctx_;
+  const BatchEncoder& encoder_;
+  const Evaluator& eval_;
+  PackingStrategy strategy_;
+};
+
+}  // namespace primer

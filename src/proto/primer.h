@@ -1,0 +1,82 @@
+// PrimerEngine: live end-to-end private BERT inference between two
+// simulated parties, in the paper's four ablation configurations:
+//
+//   kBase : Primer-base — hybrid HE+GC+SS, everything online (Table II r.1)
+//   kF    : + HGS/FHGS offline offload (Table II row 2)
+//   kFP   : + tokens-first packing (row 3)
+//   kFPC  : + combined FHGS (CHGS) merging Embed/QKV/QxK (row 4)
+//
+// The engine runs real RLWE HE and real half-gates garbling over the
+// byte-accounted channel, and reports per-step offline/online costs with the
+// same step names as Table II: embed, qkv, qk, softmax, attnv, others.
+//
+// Protocol state between steps is the HGS invariant: for every activation X,
+// the server holds D = X - R and the client holds the mask R (additive
+// shares of X over Z_t).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/model.h"
+#include "proto/attention.h"
+#include "proto/linear.h"
+#include "proto/runtime.h"
+
+namespace primer {
+
+enum class PrimerVariant { kBase, kF, kFP, kFPC };
+
+const char* variant_name(PrimerVariant v);
+
+struct PrimerRunResult {
+  std::vector<std::int64_t> logits;  // raw fixed point, revealed to client
+  std::size_t predicted = 0;
+  double offline_compute_s = 0;
+  double offline_network_s = 0;
+  double online_compute_s = 0;
+  double online_network_s = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t rounds = 0;
+  CostAccumulator costs;  // per step breakdown (Table II columns)
+
+  double offline_total_s() const { return offline_compute_s + offline_network_s; }
+  double online_total_s() const { return online_compute_s + online_network_s; }
+};
+
+class PrimerEngine {
+ public:
+  // Weights must use power-of-two tokens/d_model/head_dim (nano/micro
+  // configs); kProto2048 is the intended live profile.
+  PrimerEngine(BertWeightsI weights, PrimerVariant variant,
+               HeProfile profile = HeProfile::kProto2048,
+               std::uint64_t seed = 7);
+
+  // One private inference (offline + online, separately accounted).
+  PrimerRunResult run(const std::vector<std::size_t>& tokens);
+
+  const BertWeightsI& weights() const { return w_; }
+  PrimerVariant variant() const { return variant_; }
+
+ private:
+  PackingStrategy linear_packing() const {
+    return (variant_ == PrimerVariant::kBase || variant_ == PrimerVariant::kF)
+               ? PackingStrategy::kFeatureBased
+               : PackingStrategy::kTokensFirst;
+  }
+  bool offline_offload() const { return variant_ != PrimerVariant::kBase; }
+  bool merged_qk() const { return variant_ == PrimerVariant::kFPC; }
+
+  BertWeightsI w_;
+  PrimerVariant variant_;
+  HeProfile profile_;
+  std::uint64_t seed_;
+};
+
+// Reference logits for the kFPC variant, whose merged Q*K^T skips the
+// intermediate Q/K truncations (higher precision, slightly different
+// rounding than FixedBert).  Tests compare the live kFPC run against this.
+std::vector<std::int64_t> fixed_forward_chgs(const BertWeightsI& w,
+                                             const std::vector<std::size_t>& tokens);
+
+}  // namespace primer

@@ -1,0 +1,126 @@
+#include "proto/runtime.h"
+
+namespace primer {
+
+ProtocolContext::ProtocolContext(HeProfile profile, std::uint64_t seed,
+                                 std::vector<int> rotation_steps)
+    : he(make_params(profile)),
+      encoder(he),
+      client_rng(seed),
+      server_rng(seed ^ 0x5deece66dULL),
+      keygen(he, client_rng),
+      enc(he, keygen.secret_key(), client_rng),
+      dec(he, keygen.secret_key()),
+      eval(he),
+      gk(keygen.make_galois_keys(rotation_steps)),
+      rk(keygen.make_relin_key()),
+      ring(he.t()) {}
+
+void ProtocolContext::step(const std::string& phase,
+                           const std::string& step_name,
+                           const std::function<void()>& fn) {
+  const auto net_before = channel.snapshot();
+  const HeOpCounters he_before = eval.counters();
+  Stopwatch sw;
+  fn();
+  const double secs = sw.seconds();
+  const auto net_delta = channel.delta_since(net_before);
+  PhaseCost& cost = costs.at(phase, step_name);
+  cost.compute_seconds += secs;
+  cost.network_seconds += net_delta.seconds;
+  cost.bytes_sent += net_delta.bytes;
+  cost.rounds += net_delta.flights;
+  const HeOpCounters& now = eval.counters();
+  cost.he_mults += now.plain_mults - he_before.plain_mults;
+  cost.he_ct_mults += now.ct_mults - he_before.ct_mults;
+  cost.he_rotations += now.rotations - he_before.rotations;
+  cost.he_adds += now.adds - he_before.adds;
+}
+
+void ProtocolContext::send_cts(Party from, const std::vector<Ciphertext>& cts) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(cts.size()));
+  for (const auto& ct : cts) eval.serialize(ct, w);
+  channel.send(from, w.take());
+}
+
+std::vector<Ciphertext> ProtocolContext::recv_cts(Party to) {
+  const auto bytes = channel.recv(to);
+  ByteReader r(bytes);
+  const auto count = r.u32();
+  std::vector<Ciphertext> cts;
+  cts.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) cts.push_back(eval.deserialize(r));
+  return cts;
+}
+
+void ProtocolContext::send_ring(Party from, const MatI& m) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(m.rows()));
+  w.u32(static_cast<std::uint32_t>(m.cols()));
+  // Ring values fit in share_bits() bits; ship them packed 5 bytes per
+  // value for t < 2^40 (the live profiles) to keep traffic realistic.
+  const std::size_t bytes_per = (share_bits() + 7) / 8;
+  for (const auto v : m.data()) {
+    w.bytes(&v, bytes_per);
+  }
+  channel.send(from, w.take());
+}
+
+MatI ProtocolContext::recv_ring(Party to, std::size_t rows, std::size_t cols) {
+  const auto bytes = channel.recv(to);
+  ByteReader r(bytes);
+  const auto rr = r.u32();
+  const auto cc = r.u32();
+  if (rr != rows || cc != cols) {
+    throw std::runtime_error("recv_ring: shape mismatch");
+  }
+  MatI m(rows, cols);
+  const std::size_t bytes_per = (share_bits() + 7) / 8;
+  for (auto& v : m.data()) {
+    std::int64_t x = 0;
+    r.bytes(&x, bytes_per);
+    v = x;
+  }
+  return m;
+}
+
+std::vector<bool> ProtocolContext::ring_bits(const MatI& m) const {
+  const std::size_t w = share_bits();
+  std::vector<bool> bits;
+  bits.reserve(m.size() * w);
+  for (const auto v : m.data()) {
+    for (std::size_t b = 0; b < w; ++b) {
+      bits.push_back((static_cast<std::uint64_t>(v) >> b) & 1);
+    }
+  }
+  return bits;
+}
+
+std::vector<bool> ProtocolContext::ring_bits_row(const MatI& m,
+                                                 std::size_t row) const {
+  const std::size_t w = share_bits();
+  std::vector<bool> bits;
+  bits.reserve(m.cols() * w);
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    const auto v = static_cast<std::uint64_t>(m(row, c));
+    for (std::size_t b = 0; b < w; ++b) bits.push_back((v >> b) & 1);
+  }
+  return bits;
+}
+
+MatI ProtocolContext::bits_to_ring(const std::vector<bool>& bits,
+                                   std::size_t rows, std::size_t cols) const {
+  const std::size_t w = share_bits();
+  MatI m(rows, cols);
+  for (std::size_t i = 0; i < rows * cols; ++i) {
+    std::uint64_t v = 0;
+    for (std::size_t b = 0; b < w; ++b) {
+      if (bits[i * w + b]) v |= std::uint64_t{1} << b;
+    }
+    m.data()[i] = static_cast<std::int64_t>(v);
+  }
+  return m;
+}
+
+}  // namespace primer

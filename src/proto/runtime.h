@@ -1,0 +1,101 @@
+// ProtocolContext: everything a live two-party Primer execution needs —
+// the HE stack (client-owned keys), the simulated channel, the share ring,
+// per-step cost accounting, and the GC stage wrapper.
+//
+// Both parties run in-process; "client" state and "server" state are kept
+// in separate members and only exchanged through the Channel so the traffic
+// accounting matches a genuine deployment.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/timing.h"
+#include "gc/fixed_circuits.h"
+#include "gc/protocol.h"
+#include "he/encoder.h"
+#include "he/he.h"
+#include "net/channel.h"
+#include "proto/packing.h"
+#include "ss/secret_share.h"
+
+namespace primer {
+
+class ProtocolContext {
+ public:
+  ProtocolContext(HeProfile profile, std::uint64_t seed,
+                  std::vector<int> rotation_steps);
+
+  HeContext he;
+  BatchEncoder encoder;
+  Rng client_rng;
+  Rng server_rng;
+  KeyGenerator keygen;      // client-owned secret key
+  Encryptor enc;            // client symmetric encryptor
+  Decryptor dec;            // client decryptor
+  Evaluator eval;
+  GaloisKeys gk;
+  RelinKey rk;
+  Channel channel;
+  ShareRing ring;
+  CostAccumulator costs;
+  FixedPointFormat fmt;
+
+  std::uint64_t t() const { return he.t(); }
+  std::size_t share_bits() const { return share_width(he.t()); }
+
+  // Runs `fn`, charging its wall-clock time plus the channel traffic it
+  // generated to costs[phase][step].
+  void step(const std::string& phase, const std::string& step_name,
+            const std::function<void()>& fn);
+
+  // Ciphertext transfer through the accounted channel.
+  void send_cts(Party from, const std::vector<Ciphertext>& cts);
+  std::vector<Ciphertext> recv_cts(Party to);
+
+  // Ring-matrix transfer (unencrypted share traffic).
+  void send_ring(Party from, const MatI& m);
+  MatI recv_ring(Party to, std::size_t rows, std::size_t cols);
+
+  // Bit marshalling between ring matrices and GC input bit vectors.
+  std::vector<bool> ring_bits(const MatI& m) const;
+  std::vector<bool> ring_bits_row(const MatI& m, std::size_t row) const;
+  MatI bits_to_ring(const std::vector<bool>& bits, std::size_t rows,
+                    std::size_t cols) const;
+};
+
+// One garbled-circuit protocol stage with offline/online cost attribution.
+class GcStage {
+ public:
+  GcStage(ProtocolContext& pc, Circuit circuit, RevealTo reveal)
+      : pc_(pc), session_(pc.channel, pc.server_rng),
+        circuit_(std::move(circuit)), reveal_(reveal) {}
+
+  // Garble + transmit tables; charge to costs[phase][step_name].
+  void offline(const std::string& phase, const std::string& step_name) {
+    pc_.step(phase, step_name, [&] { session_.offline(circuit_, reveal_); });
+  }
+
+  std::vector<bool> online(const std::string& phase,
+                           const std::string& step_name,
+                           const std::vector<bool>& garbler_bits,
+                           const std::vector<bool>& evaluator_bits) {
+    std::vector<bool> out;
+    pc_.step(phase, step_name,
+             [&] { out = session_.online(garbler_bits, evaluator_bits); });
+    return out;
+  }
+
+  const GcStats& stats() const { return session_.stats(); }
+  const Circuit& circuit() const { return circuit_; }
+
+ private:
+  ProtocolContext& pc_;
+  GcSession session_;
+  Circuit circuit_;
+  RevealTo reveal_;
+};
+
+}  // namespace primer

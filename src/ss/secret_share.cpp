@@ -1,0 +1,39 @@
+#include "ss/secret_share.h"
+
+namespace primer {
+
+BeaverTriple make_beaver_triple(const ShareRing& ring, Rng& rng,
+                                std::size_t m, std::size_t k, std::size_t n) {
+  BeaverTriple t;
+  const MatI a = ring.random(rng, m, k);
+  const MatI b = ring.random(rng, k, n);
+  const MatI c = ring.mul(a, b);
+  t.a = ring.share(a, rng);
+  t.b = ring.share(b, rng);
+  t.c = ring.share(c, rng);
+  return t;
+}
+
+BeaverMulResult beaver_multiply(const ShareRing& ring, const SharePair& x,
+                                const SharePair& y,
+                                const BeaverTriple& triple) {
+  BeaverMulResult r;
+  // E = X - A and F = Y - B are opened (they leak nothing: A, B are uniform).
+  r.opened_e = ring.add(ring.sub(x.client, triple.a.client),
+                        ring.sub(x.server, triple.a.server));
+  r.opened_f = ring.add(ring.sub(y.client, triple.b.client),
+                        ring.sub(y.server, triple.b.server));
+  // X*Y = C + E*B + A*F + E*F; the E*F term goes to one party (server).
+  const MatI ef = ring.mul(r.opened_e, r.opened_f);
+  r.product.client = ring.add(
+      triple.c.client, ring.add(ring.mul(r.opened_e, triple.b.client),
+                                ring.mul(triple.a.client, r.opened_f)));
+  r.product.server = ring.add(
+      ring.add(triple.c.server,
+               ring.add(ring.mul(r.opened_e, triple.b.server),
+                        ring.mul(triple.a.server, r.opened_f))),
+      ef);
+  return r;
+}
+
+}  // namespace primer

@@ -1,0 +1,142 @@
+// Additive secret sharing over Z_t and Beaver multiplication triples.
+//
+// All intermediate Transformer state in the Primer protocols lives as a
+// pair of matrices (client share, server share) with X = (Xc + Xs) mod t.
+// Beaver triples (A, B, C = A*B) let two parties multiply shared matrices
+// with only plaintext work online — the FHGS protocol (§III-B) is exactly
+// an HE-backed generator of such triples for the attention products.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+
+namespace primer {
+
+// Matrices of ring elements in [0, t).
+struct SharePair {
+  MatI client;
+  MatI server;
+};
+
+class ShareRing {
+ public:
+  explicit ShareRing(std::uint64_t t) : t_(static_cast<std::int64_t>(t)) {}
+
+  std::uint64_t modulus() const { return static_cast<std::uint64_t>(t_); }
+
+  std::int64_t reduce(std::int64_t v) const {
+    std::int64_t r = v % t_;
+    if (r < 0) r += t_;
+    return r;
+  }
+
+  // Centered representative in (-t/2, t/2].
+  std::int64_t center(std::int64_t v) const {
+    const std::int64_t r = reduce(v);
+    return r > t_ / 2 ? r - t_ : r;
+  }
+
+  MatI reduce(const MatI& m) const {
+    MatI out(m.rows(), m.cols());
+    for (std::size_t i = 0; i < m.size(); ++i) out.data()[i] = reduce(m.data()[i]);
+    return out;
+  }
+
+  MatI center(const MatI& m) const {
+    MatI out(m.rows(), m.cols());
+    for (std::size_t i = 0; i < m.size(); ++i) out.data()[i] = center(m.data()[i]);
+    return out;
+  }
+
+  MatI add(const MatI& a, const MatI& b) const {
+    MatI out(a.rows(), a.cols());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      out.data()[i] = reduce(a.data()[i] + b.data()[i]);
+    }
+    return out;
+  }
+
+  MatI sub(const MatI& a, const MatI& b) const {
+    MatI out(a.rows(), a.cols());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      out.data()[i] = reduce(a.data()[i] - b.data()[i]);
+    }
+    return out;
+  }
+
+  // Plain matrix product with entries reduced into the ring.  Products of
+  // two ring residues reach ~2^72 for t ~ 2^36, so accumulation uses 128-bit
+  // intermediates.
+  MatI mul(const MatI& a, const MatI& b) const {
+    if (a.cols() != b.rows()) throw std::invalid_argument("ShareRing::mul dims");
+    MatI out(a.rows(), b.cols());
+    const auto tt = static_cast<unsigned __int128>(t_);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        unsigned __int128 acc = 0;
+        for (std::size_t k = 0; k < a.cols(); ++k) {
+          const auto va = static_cast<unsigned __int128>(reduce(a(i, k)));
+          const auto vb = static_cast<unsigned __int128>(reduce(b(k, j)));
+          acc += (va * vb) % tt;
+        }
+        out(i, j) = static_cast<std::int64_t>(acc % tt);
+      }
+    }
+    return out;
+  }
+
+  MatI random(Rng& rng, std::size_t rows, std::size_t cols) const {
+    MatI m(rows, cols);
+    for (auto& v : m.data()) {
+      v = static_cast<std::int64_t>(rng.uniform(static_cast<std::uint64_t>(t_)));
+    }
+    return m;
+  }
+
+  // Splits a centered-value matrix into two uniformly random shares.
+  SharePair share(const MatI& value, Rng& rng) const {
+    SharePair p;
+    p.client = random(rng, value.rows(), value.cols());
+    p.server = sub(reduce(value), p.client);
+    return p;
+  }
+
+  // Reconstructs the centered values.
+  MatI reconstruct(const SharePair& p) const {
+    return center(add(p.client, p.server));
+  }
+
+ private:
+  std::int64_t t_;
+};
+
+// A Beaver triple for matrix multiplication of shapes (m x k) * (k x n):
+// C = A * B in the ring, each factor additively shared.
+struct BeaverTriple {
+  SharePair a;
+  SharePair b;
+  SharePair c;
+};
+
+// Dealer-style triple generation directly in the ring (used in tests; the
+// protocol-grade generation is FHGS, which produces exactly this structure
+// via HE — see proto/fhgs.h).
+BeaverTriple make_beaver_triple(const ShareRing& ring, Rng& rng,
+                                std::size_t m, std::size_t k, std::size_t n);
+
+// Online Beaver multiplication: given shares of X and Y and a triple,
+// computes shares of X*Y.  `open_*` are the publicly reconstructed
+// differences E = X - A, F = Y - B.
+struct BeaverMulResult {
+  SharePair product;
+  MatI opened_e;
+  MatI opened_f;
+};
+
+BeaverMulResult beaver_multiply(const ShareRing& ring, const SharePair& x,
+                                const SharePair& y, const BeaverTriple& triple);
+
+}  // namespace primer

@@ -1,0 +1,160 @@
+// Tests for the baselines and the accuracy/cost experiment substrates:
+// the THE-X approximation model, the synthetic training harness, and the
+// calibrated cost model's structural properties.
+#include <gtest/gtest.h>
+
+#include "nn/thex.h"
+#include "nn/train.h"
+#include "proto/cost_model.h"
+
+namespace primer {
+namespace {
+
+TEST(Thex, ForwardRunsAndDiffersFromExact) {
+  Rng rng(1);
+  const auto w = quantize(BertWeightsD::random(bert_micro(), rng));
+  const FixedBert exact(w);
+  int diff = 0;
+  for (int i = 0; i < 10; ++i) {
+    std::vector<std::size_t> tokens(w.config.tokens);
+    for (auto& t : tokens) t = rng.uniform(w.config.vocab);
+    const auto a = exact.forward(tokens);
+    const auto b = thex_fixed_forward(w, tokens);
+    ASSERT_EQ(a.size(), b.size());
+    if (a != b) ++diff;
+  }
+  // The polynomial approximations must actually change the computation.
+  EXPECT_GT(diff, 5);
+}
+
+TEST(Thex, DegenerateAllNegativeScoresFallBackToUniform) {
+  // relu-softmax with an all-negative row must not divide by zero.
+  Rng rng(2);
+  auto wd = BertWeightsD::random(bert_nano(), rng);
+  // Strongly negative positional bias pushes scores negative.
+  for (auto& v : wd.pos.data()) v = -8.0;
+  const auto w = quantize(wd);
+  const std::vector<std::size_t> tokens = {0, 1, 2, 3};
+  EXPECT_NO_THROW({ (void)thex_fixed_forward(w, tokens); });
+}
+
+TEST(SyntheticTask, LabelsAreBalancedAndDeterministic) {
+  Rng rng(7);
+  const auto task = SyntheticTask::generate(bert_nano(), 300, rng);
+  std::size_t counts[3] = {0, 0, 0};
+  for (const auto l : task.labels) {
+    ASSERT_LT(l, 3u);
+    ++counts[l];
+  }
+  for (const auto c : counts) EXPECT_GT(c, 50u);  // roughly balanced
+  Rng rng2(7);
+  const auto task2 = SyntheticTask::generate(bert_nano(), 300, rng2);
+  EXPECT_EQ(task.labels, task2.labels);
+  EXPECT_EQ(task.inputs, task2.inputs);
+}
+
+TEST(Training, LearnsAboveChanceAndPrimerTracksFloat) {
+  Rng rng(11);
+  auto weights = BertWeightsD::random(bert_nano(), rng);
+  const auto report = train_and_evaluate(weights, 150, 100, 20, rng);
+  EXPECT_GT(report.float_accuracy, 0.45);  // chance = 1/3
+  // Primer's exact fixed-point arithmetic stays close to float...
+  EXPECT_NEAR(report.fixed_accuracy, report.float_accuracy, 0.10);
+  // ...and (directionally) beats the THE-X approximations.
+  EXPECT_GE(report.fixed_accuracy + 0.02, report.thex_accuracy);
+}
+
+TEST(CostModel, GateCountsArePositiveAndOrdered) {
+  const auto g = count_protocol_gates((1ULL << 40) + 1, 30, 64);
+  EXPECT_GT(g.activation_identity_per_value, 100u);
+  EXPECT_GT(g.activation_gelu_per_value, g.activation_identity_per_value);
+  EXPECT_GT(g.softmax_row, g.activation_gelu_per_value);
+  EXPECT_GT(g.layernorm_row, g.softmax_row / 30);
+}
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  static PrimitiveCosts synthetic_costs() {
+    // Fixed synthetic primitive costs so the structural assertions are
+    // deterministic and fast (no calibration).
+    PrimitiveCosts pc;
+    pc.rotation = 2e-3;
+    pc.plain_mult = 1e-3;
+    pc.ct_mult = 10e-3;
+    pc.add = 5e-5;
+    pc.encrypt = 2e-3;
+    pc.decrypt = 1e-3;
+    pc.gc_garble_and = 50e-9;
+    pc.gc_eval_and = 25e-9;
+    pc.plain_mac = 1e-9;
+    pc.ciphertext_bytes = 400000;
+    pc.slots = 4096;
+    return pc;
+  }
+};
+
+TEST_F(CostModelTest, PaperOrderingHolds) {
+  const auto pc = synthetic_costs();
+  const auto cfg = bert_base();
+  const auto thex = estimate_cost(cfg, CostedScheme::kTheX, pc);
+  const auto gcf = estimate_cost(cfg, CostedScheme::kGcFormer, pc);
+  const auto base = estimate_cost(cfg, CostedScheme::kPrimerBase, pc);
+  const auto f = estimate_cost(cfg, CostedScheme::kPrimerF, pc);
+  const auto fp = estimate_cost(cfg, CostedScheme::kPrimerFP, pc);
+  const auto fpc = estimate_cost(cfg, CostedScheme::kPrimerFPC, pc);
+
+  // Fig. 2 / Table I orderings.
+  EXPECT_GT(gcf.total_seconds(), thex.total_seconds());
+  EXPECT_LT(fpc.total_seconds(), thex.total_seconds());
+  EXPECT_LT(fpc.total_seconds(), f.total_seconds());
+  // Table II cascade.
+  EXPECT_GT(base.online_seconds() / f.online_seconds(), 20.0);   // FHGS
+  EXPECT_GT(f.offline_seconds() / fp.offline_seconds(), 4.0);    // packing
+  // Primer-base pays everything online.
+  EXPECT_EQ(base.offline_seconds(), 0.0);
+  // CHGS zeroes embed and qkv.
+  EXPECT_EQ(fpc.steps.at("embed").online_s, 0.0);
+  EXPECT_EQ(fpc.steps.at("qkv").online_s, 0.0);
+  EXPECT_GT(fpc.steps.at("qk").offline_s, fp.steps.at("qk").offline_s);
+}
+
+TEST_F(CostModelTest, ZooScalesMonotonically) {
+  const auto pc = synthetic_costs();
+  double prev_total = 0, prev_gb = 0;
+  for (const auto& cfg : bert_zoo()) {
+    const auto e = estimate_cost(cfg, CostedScheme::kPrimerFPC, pc);
+    EXPECT_GT(e.total_seconds(), prev_total) << cfg.name;
+    EXPECT_GT(e.message_gb(), prev_gb) << cfg.name;
+    prev_total = e.total_seconds();
+    prev_gb = e.message_gb();
+  }
+}
+
+TEST_F(CostModelTest, FhgsRemovesOnlineCtMults) {
+  const auto pc = synthetic_costs();
+  const auto cfg = bert_tiny();
+  const auto base = estimate_cost(cfg, CostedScheme::kPrimerBase, pc);
+  const auto f = estimate_cost(cfg, CostedScheme::kPrimerF, pc);
+  EXPECT_GT(base.total().ct_mults, 0u);
+  EXPECT_EQ(f.total().ct_mults, 0u);
+}
+
+TEST_F(CostModelTest, PackingReducesRotationsByTokenFactor) {
+  const auto pc = synthetic_costs();
+  const auto cfg = bert_base();
+  const auto f = estimate_cost(cfg, CostedScheme::kPrimerF, pc);
+  const auto fp = estimate_cost(cfg, CostedScheme::kPrimerFP, pc);
+  const double ratio = static_cast<double>(f.total().rotations) /
+                       static_cast<double>(fp.total().rotations);
+  EXPECT_GT(ratio, 10.0);
+  EXPECT_LT(ratio, 60.0);
+}
+
+TEST(PaperNumbersTable, MatchesPublishedValues) {
+  EXPECT_DOUBLE_EQ(paper_table1(CostedScheme::kTheX).online_s, 4700);
+  EXPECT_DOUBLE_EQ(paper_table1(CostedScheme::kPrimerFPC).accuracy, 84.6);
+  EXPECT_DOUBLE_EQ(paper_table1(CostedScheme::kGcFormer).offline_s, 7500);
+}
+
+}  // namespace
+}  // namespace primer

@@ -1,0 +1,112 @@
+// Failure-injection tests: corrupting protocol material must change or
+// break results, never silently pass through — this validates that the
+// tests elsewhere are actually exercising the cryptography.
+#include <gtest/gtest.h>
+
+#include "gc/garble.h"
+#include "gc/protocol.h"
+#include "he/encoder.h"
+#include "he/he.h"
+
+namespace primer {
+namespace {
+
+TEST(FailureInjection, WrongSecretKeyDecryptsGarbage) {
+  const HeContext ctx(make_params(HeProfile::kTest2048));
+  Rng rng(1);
+  KeyGenerator good(ctx, rng);
+  KeyGenerator evil(ctx, rng);
+  const BatchEncoder encoder(ctx);
+  const Encryptor enc(ctx, good.secret_key(), rng);
+  const Decryptor wrong_dec(ctx, evil.secret_key());
+
+  const std::vector<u64> v = {1, 2, 3, 4, 5};
+  const auto ct = enc.encrypt(encoder.encode(v));
+  const auto out = encoder.decode(wrong_dec.decrypt(ct));
+  int matches = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) matches += (out[i] == v[i]);
+  EXPECT_LE(matches, 1);  // decryption under the wrong key is noise
+}
+
+TEST(FailureInjection, TamperedCiphertextChangesPlaintext) {
+  const HeContext ctx(make_params(HeProfile::kTest2048));
+  Rng rng(2);
+  KeyGenerator keygen(ctx, rng);
+  const BatchEncoder encoder(ctx);
+  const Encryptor enc(ctx, keygen.secret_key(), rng);
+  const Decryptor dec(ctx, keygen.secret_key());
+
+  const std::vector<u64> v(16, 42);
+  auto ct = enc.encrypt(encoder.encode(v));
+  // Flip one RNS residue.
+  ct.parts[0].comp[0][7] ^= 1;
+  const auto out = encoder.decode(dec.decrypt(ct));
+  EXPECT_NE(out, std::vector<u64>(encoder.slot_count(), 0) /*placeholder*/);
+  int diffs = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) diffs += (out[i] != v[i]);
+  EXPECT_GT(diffs, 0);  // tampering is never silently absorbed
+}
+
+TEST(FailureInjection, CorruptedGarbledTableBreaksEvaluation) {
+  CircuitBuilder b;
+  const Bus x = b.add_input_bus(16), y = b.add_input_bus(16);
+  b.set_outputs(b.mul(x, y, 16));
+  const Circuit c = b.build();
+  Rng rng(3);
+  Garbler g(rng);
+  auto gc = g.garble(c);
+
+  std::vector<Label> in(static_cast<std::size_t>(c.num_inputs));
+  std::vector<bool> bits(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    bits[i] = (rng.next() & 1) != 0;
+    in[i] = Garbler::active_input(gc, i, bits[i]);
+  }
+  const auto good = GcEvaluator::eval(c, gc.table, in);
+
+  // Corrupt one table row: downstream labels diverge.
+  gc.table.rows[gc.table.rows.size() / 2].lo ^= 0xdeadbeef;
+  const auto bad = GcEvaluator::eval(c, gc.table, in);
+  EXPECT_NE(good.back().lo ^ bad.back().lo, 0u);
+}
+
+TEST(FailureInjection, WrongInputLabelProducesWrongResult) {
+  CircuitBuilder b;
+  const Bus x = b.add_input_bus(8), y = b.add_input_bus(8);
+  b.set_outputs(b.add(x, y));
+  const Circuit c = b.build();
+  Rng rng(4);
+  Garbler g(rng);
+  const auto gc = g.garble(c);
+  std::vector<Label> in(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    in[i] = Garbler::active_input(gc, i, false);
+  }
+  // A label that is neither W0 nor W1 (evaluator cheating / corruption).
+  in[3] = Label{12345, 67890};
+  const auto out = GcEvaluator::eval(c, gc.table, in);
+  std::uint64_t decoded = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (Garbler::decode_output(gc, i, out[i])) decoded |= 1ULL << i;
+  }
+  EXPECT_NE(decoded, 0u);  // 0 + 0 should be 0; corruption breaks it
+}
+
+TEST(FailureInjection, TruncatedSerializedCiphertextThrows) {
+  const HeContext ctx(make_params(HeProfile::kTest2048));
+  Rng rng(5);
+  KeyGenerator keygen(ctx, rng);
+  const BatchEncoder encoder(ctx);
+  const Encryptor enc(ctx, keygen.secret_key(), rng);
+  const Evaluator eval(ctx);
+  const auto ct = enc.encrypt(encoder.encode({1}));
+  ByteWriter w;
+  eval.serialize(ct, w);
+  auto bytes = w.take();
+  bytes.resize(bytes.size() / 2);
+  ByteReader r(bytes);
+  EXPECT_THROW((void)eval.deserialize(r), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace primer

@@ -1,0 +1,308 @@
+// Tests for the garbled-circuit substrate: AES primitives, circuit builder
+// arithmetic vs plain integer semantics, half-gates garbling equivalence,
+// and the two-party GcSession over the simulated channel.
+#include <gtest/gtest.h>
+
+#include "gc/aes.h"
+#include "gc/circuit.h"
+#include "gc/fixed_circuits.h"
+#include "gc/garble.h"
+#include "gc/protocol.h"
+
+namespace primer {
+namespace {
+
+TEST(Aes, KnownAnswerFips197) {
+  // FIPS-197 appendix C.1: key 000102...0f, plaintext 00112233...ff.
+  // Our Block is little-endian in each 64-bit half; bytes of the standard
+  // vector map accordingly.
+  const Block key{0x0706050403020100ULL, 0x0f0e0d0c0b0a0908ULL};
+  const Block pt{0x7766554433221100ULL, 0xffeeddccbbaa9988ULL};
+  const FixedKeyAes aes(key);
+  const Block ct = aes.encrypt(pt);
+  // Expected ciphertext 69c4e0d86a7b0430d8cdb78070b4c55a (big-endian bytes).
+  EXPECT_EQ(ct.lo, 0x30047b6ad8e0c469ULL);
+  EXPECT_EQ(ct.hi, 0x5ac5b47080b7cdd8ULL);
+}
+
+TEST(Aes, HashDependsOnTweakAndInput) {
+  const FixedKeyAes aes;
+  const Block x{123, 456};
+  EXPECT_FALSE(aes.hash(x, 1) == aes.hash(x, 2));
+  EXPECT_FALSE(aes.hash(x, 1) == aes.hash(Block{124, 456}, 1));
+  EXPECT_TRUE(aes.hash(x, 7) == aes.hash(x, 7));
+}
+
+TEST(Circuit, PlainEvalBasicGates) {
+  CircuitBuilder b;
+  const auto x = b.add_input();
+  const auto y = b.add_input();
+  b.set_outputs({b.xor_gate(x, y), b.and_gate(x, y), b.not_gate(x),
+                 b.or_gate(x, y)});
+  const Circuit c = b.build();
+  for (int xv = 0; xv <= 1; ++xv) {
+    for (int yv = 0; yv <= 1; ++yv) {
+      const auto out = eval_circuit(c, {xv == 1, yv == 1});
+      EXPECT_EQ(out[0], (xv ^ yv) == 1);
+      EXPECT_EQ(out[1], (xv & yv) == 1);
+      EXPECT_EQ(out[2], xv == 0);
+      EXPECT_EQ(out[3], (xv | yv) == 1);
+    }
+  }
+}
+
+// Builds a circuit computing op(a, b) on w-bit buses and checks it against
+// the integer semantics for exhaustive/random operand pairs.
+class ArithCircuitTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ArithCircuitTest, AddMatchesInteger) {
+  const std::size_t w = GetParam();
+  CircuitBuilder b;
+  const Bus a = b.add_input_bus(w), c = b.add_input_bus(w);
+  b.set_outputs(b.add(a, c));
+  const Circuit circ = b.build();
+  Rng rng(w);
+  const std::uint64_t mask = (w == 64) ? ~0ULL : ((1ULL << w) - 1);
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::uint64_t x = rng.next() & mask, y = rng.next() & mask;
+    auto in = value_to_bits(x, w);
+    const auto yb = value_to_bits(y, w);
+    in.insert(in.end(), yb.begin(), yb.end());
+    EXPECT_EQ(bits_to_value(eval_circuit(circ, in)), (x + y) & mask);
+  }
+}
+
+TEST_P(ArithCircuitTest, SubAndBorrowMatchInteger) {
+  const std::size_t w = GetParam();
+  CircuitBuilder b;
+  const Bus a = b.add_input_bus(w), c = b.add_input_bus(w);
+  std::int32_t borrow = 0;
+  Bus diff = b.sub(a, c, &borrow);
+  diff.push_back(borrow);
+  b.set_outputs(diff);
+  const Circuit circ = b.build();
+  Rng rng(w + 1);
+  const std::uint64_t mask = (w == 64) ? ~0ULL : ((1ULL << w) - 1);
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::uint64_t x = rng.next() & mask, y = rng.next() & mask;
+    auto in = value_to_bits(x, w);
+    const auto yb = value_to_bits(y, w);
+    in.insert(in.end(), yb.begin(), yb.end());
+    const auto out = eval_circuit(circ, in);
+    const auto diff_bits = std::vector<bool>(out.begin(), out.end() - 1);
+    EXPECT_EQ(bits_to_value(diff_bits), (x - y) & mask);
+    EXPECT_EQ(out.back(), x < y);
+  }
+}
+
+TEST_P(ArithCircuitTest, MulMatchesInteger) {
+  const std::size_t w = GetParam();
+  CircuitBuilder b;
+  const Bus a = b.add_input_bus(w), c = b.add_input_bus(w);
+  b.set_outputs(b.mul(a, c, w));
+  const Circuit circ = b.build();
+  Rng rng(w + 2);
+  const std::uint64_t mask = (w == 64) ? ~0ULL : ((1ULL << w) - 1);
+  for (int iter = 0; iter < 30; ++iter) {
+    const std::uint64_t x = rng.next() & mask, y = rng.next() & mask;
+    auto in = value_to_bits(x, w);
+    const auto yb = value_to_bits(y, w);
+    in.insert(in.end(), yb.begin(), yb.end());
+    EXPECT_EQ(bits_to_value(eval_circuit(circ, in)), (x * y) & mask);
+  }
+}
+
+TEST_P(ArithCircuitTest, DivMatchesInteger) {
+  const std::size_t w = GetParam();
+  CircuitBuilder b;
+  const Bus a = b.add_input_bus(w), c = b.add_input_bus(w);
+  b.set_outputs(b.div(a, c));
+  const Circuit circ = b.build();
+  Rng rng(w + 3);
+  const std::uint64_t mask = (w == 64) ? ~0ULL : ((1ULL << w) - 1);
+  for (int iter = 0; iter < 30; ++iter) {
+    const std::uint64_t x = rng.next() & mask;
+    const std::uint64_t y = (rng.next() & mask) | 1;  // avoid divide by zero
+    auto in = value_to_bits(x, w);
+    const auto yb = value_to_bits(y, w);
+    in.insert(in.end(), yb.begin(), yb.end());
+    EXPECT_EQ(bits_to_value(eval_circuit(circ, in)), x / y);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ArithCircuitTest,
+                         ::testing::Values(4, 8, 15, 22, 32));
+
+TEST(Circuit, ComparatorsAndMux) {
+  const std::size_t w = 10;
+  CircuitBuilder b;
+  const Bus a = b.add_input_bus(w), c = b.add_input_bus(w);
+  const auto sel = b.lt(a, c);
+  Bus out = b.mux(sel, a, c);  // min(a, c)
+  out.push_back(b.ge(a, c));
+  out.push_back(b.eq(a, c));
+  b.set_outputs(out);
+  const Circuit circ = b.build();
+  Rng rng(7);
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::uint64_t x = rng.uniform(1 << w), y = rng.uniform(1 << w);
+    auto in = value_to_bits(x, w);
+    const auto yb = value_to_bits(y, w);
+    in.insert(in.end(), yb.begin(), yb.end());
+    const auto o = eval_circuit(circ, in);
+    const auto min_bits = std::vector<bool>(o.begin(), o.begin() + w);
+    EXPECT_EQ(bits_to_value(min_bits), std::min(x, y));
+    EXPECT_EQ(o[w], x >= y);
+    EXPECT_EQ(o[w + 1], x == y);
+  }
+}
+
+TEST(Circuit, ModularAddSub) {
+  const std::uint64_t p = 1000003;
+  const std::size_t w = share_width(p);
+  CircuitBuilder b;
+  const Bus a = b.add_input_bus(w), c = b.add_input_bus(w);
+  Bus out = b.add_mod(a, c, p);
+  Bus out2 = b.sub_mod(a, c, p);
+  out.insert(out.end(), out2.begin(), out2.end());
+  b.set_outputs(out);
+  const Circuit circ = b.build();
+  Rng rng(17);
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::uint64_t x = rng.uniform(p), y = rng.uniform(p);
+    auto in = value_to_bits(x, w);
+    const auto yb = value_to_bits(y, w);
+    in.insert(in.end(), yb.begin(), yb.end());
+    const auto o = eval_circuit(circ, in);
+    const auto add_bits = std::vector<bool>(o.begin(), o.begin() + w);
+    const auto sub_bits = std::vector<bool>(o.begin() + w, o.end());
+    EXPECT_EQ(bits_to_value(add_bits), (x + y) % p);
+    EXPECT_EQ(bits_to_value(sub_bits), (x + p - y) % p);
+  }
+}
+
+TEST(Circuit, ConstantFoldingEmitsNoAndGates) {
+  CircuitBuilder b;
+  const Bus a = b.add_input_bus(8);
+  // Multiplying by the constant 4 should fold to pure rewiring + adds of 0.
+  const Bus c = b.constant_bus(4, 8);
+  b.set_outputs(b.mul(a, c, 8));
+  // A full 8x8 mul has ~64 ANDs from partial products; constant 4 has one
+  // set bit so all partial-product ANDs fold away.
+  EXPECT_LE(b.and_count(), 8u);
+}
+
+TEST(Garble, MatchesPlainEvalOnRandomCircuits) {
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    CircuitBuilder b;
+    const std::size_t w = 8;
+    const Bus a = b.add_input_bus(w), c = b.add_input_bus(w);
+    const Bus sum = b.add(a, c);
+    const Bus prod = b.mul(a, c, w);
+    const auto cmp = b.lt(a, c);
+    Bus out = b.mux(cmp, sum, prod);
+    out.push_back(b.eq(a, c));
+    b.set_outputs(out);
+    const Circuit circ = b.build();
+
+    std::vector<bool> inputs(2 * w);
+    for (auto&& bit : inputs) bit = rng.next() & 1;
+    EXPECT_EQ(garbled_eval(circ, inputs, rng), eval_circuit(circ, inputs));
+  }
+}
+
+TEST(Garble, AllInputCombinationsTinyCircuit) {
+  CircuitBuilder b;
+  const auto x = b.add_input();
+  const auto y = b.add_input();
+  const auto z = b.add_input();
+  // out = (x & y) ^ ~z  — exercises AND, XOR, NOT together.
+  b.set_outputs({b.xor_gate(b.and_gate(x, y), b.not_gate(z))});
+  const Circuit c = b.build();
+  Rng rng(5);
+  for (int m = 0; m < 8; ++m) {
+    const std::vector<bool> in = {(m & 1) != 0, (m & 2) != 0, (m & 4) != 0};
+    EXPECT_EQ(garbled_eval(c, in, rng), eval_circuit(c, in)) << "mask " << m;
+  }
+}
+
+TEST(Garble, TableSizeIsTwoLabelsPerAnd) {
+  CircuitBuilder b;
+  const Bus a = b.add_input_bus(16), c = b.add_input_bus(16);
+  b.set_outputs(b.mul(a, c, 16));
+  const Circuit circ = b.build();
+  Rng rng(3);
+  Garbler g(rng);
+  const auto gc = g.garble(circ);
+  EXPECT_EQ(gc.table.rows.size(), 2 * circ.and_count());
+}
+
+TEST(GcSession, TwoPartyAddModT) {
+  const std::uint64_t t = 65537;
+  const std::size_t w = share_width(t);
+  CircuitBuilder b;
+  const Bus sg = b.add_input_bus(w);  // garbler share
+  const Bus se = b.add_input_bus(w);  // evaluator share
+  b.set_outputs(b.add_mod(sg, se, t));
+  const Circuit circ = b.build();
+
+  Channel ch;
+  Rng rng(77);
+  GcSession session(ch, rng);
+  session.offline(circ, RevealTo::kBoth);
+  const std::uint64_t x = 12345, y = 54321;
+  const auto out = session.online(value_to_bits(x, w), value_to_bits(y, w));
+  EXPECT_EQ(bits_to_value(out), (x + y) % t);
+  EXPECT_GT(ch.total_bytes(), 0u);
+  EXPECT_GT(ch.flights(), 0u);
+  EXPECT_GT(session.stats().and_gates, 0u);
+}
+
+TEST(GcSession, RevealToGarblerOnly) {
+  CircuitBuilder b;
+  const Bus a = b.add_input_bus(8), c = b.add_input_bus(8);
+  b.set_outputs(b.add(a, c));
+  const Circuit circ = b.build();
+  Channel ch;
+  Rng rng(79);
+  GcSession session(ch, rng);
+  session.offline(circ, RevealTo::kGarbler);
+  const auto out = session.online(value_to_bits(100, 8), value_to_bits(55, 8));
+  EXPECT_EQ(bits_to_value(out), 155u);
+}
+
+TEST(GcSession, OnlineBeforeOfflineThrows) {
+  Channel ch;
+  Rng rng(1);
+  GcSession session(ch, rng);
+  EXPECT_THROW(session.online({}, {}), std::logic_error);
+}
+
+TEST(GcSession, ChannelAccountsGarbledTables) {
+  CircuitBuilder b;
+  const Bus a = b.add_input_bus(16), c = b.add_input_bus(16);
+  b.set_outputs(b.mul(a, c, 16));
+  const Circuit circ = b.build();
+  Channel ch;
+  Rng rng(83);
+  GcSession session(ch, rng);
+  const auto before = ch.total_bytes();
+  session.offline(circ, RevealTo::kGarbler);
+  // Offline traffic must include at least the garbled tables.
+  EXPECT_GE(ch.total_bytes() - before, 2 * 16 * circ.and_count());
+}
+
+TEST(PackBits, RoundTrip) {
+  const std::vector<bool> bits = {1, 0, 1, 1, 0, 0, 0, 1, 1, 0, 1};
+  EXPECT_EQ(unpack_bits(pack_bits(bits), bits.size()), bits);
+}
+
+TEST(ValueBits, RoundTrip) {
+  for (std::uint64_t v : {0ULL, 1ULL, 255ULL, 65535ULL, 123456789ULL}) {
+    EXPECT_EQ(bits_to_value(value_to_bits(v, 40)), v);
+  }
+}
+
+}  // namespace
+}  // namespace primer

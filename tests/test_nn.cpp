@@ -1,0 +1,114 @@
+// Tests for the transformer substrate: configs, weight quantization, float
+// vs fixed model agreement, layernorm semantics, and model zoo shapes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/model.h"
+
+namespace primer {
+namespace {
+
+TEST(Config, PaperZooMatchesTableIII) {
+  const auto zoo = bert_zoo();
+  ASSERT_EQ(zoo.size(), 5u);
+  EXPECT_EQ(zoo[0].blocks, 3u);    // tiny
+  EXPECT_EQ(zoo[1].blocks, 6u);    // small
+  EXPECT_EQ(zoo[2].blocks, 12u);   // base
+  EXPECT_EQ(zoo[3].d_model, 1024u);  // medium
+  EXPECT_EQ(zoo[4].blocks, 24u);   // large
+  for (const auto& c : zoo) {
+    EXPECT_EQ(c.tokens, 30u);
+    EXPECT_EQ(c.vocab, 30522u);
+    EXPECT_EQ(c.d_ff, 4 * c.d_model);
+    EXPECT_EQ(c.d_model % c.heads, 0u);
+  }
+}
+
+TEST(Weights, QuantizeRoundTripsSmallValues) {
+  Rng rng(1);
+  const auto w = BertWeightsD::random(bert_nano(), rng);
+  const auto q = quantize(w);
+  EXPECT_EQ(q.we.rows(), w.we.rows());
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_NEAR(fp_decode(q.we.data()[i]), w.we.data()[i], 1.0 / 256);
+  }
+}
+
+TEST(FixedModel, EmbedMatchesOneHotMatmul) {
+  Rng rng(2);
+  const auto cfg = bert_nano();
+  const auto wq = quantize(BertWeightsD::random(cfg, rng));
+  const FixedBert model(wq);
+  const std::vector<std::size_t> tokens = {1, 5, 9, 31};
+  const MatI emb = model.embed(tokens);
+  for (std::size_t i = 0; i < cfg.tokens; ++i) {
+    for (std::size_t j = 0; j < cfg.d_model; ++j) {
+      // Integer one-hot path: embedding = WE row + pos, exactly.
+      EXPECT_EQ(emb(i, j),
+                fp_saturate(wq.we(tokens[i], j) + wq.pos(i, j)));
+    }
+  }
+}
+
+TEST(FixedModel, TracksFloatModelPredictions) {
+  Rng rng(3);
+  const auto cfg = bert_micro();
+  const auto wd = BertWeightsD::random(cfg, rng);
+  const FloatBert fm(wd);
+  const FixedBert xm(quantize(wd));
+  int agree = 0;
+  const int trials = 20;
+  for (int i = 0; i < trials; ++i) {
+    std::vector<std::size_t> tokens(cfg.tokens);
+    for (auto& t : tokens) t = rng.uniform(cfg.vocab);
+    agree += (fm.predict(tokens) == xm.predict(tokens));
+  }
+  // 15-bit fixed point with exact nonlinearities should track float closely
+  // (this is the accuracy-preservation claim of the paper).
+  EXPECT_GE(agree, trials - 3);
+}
+
+TEST(FixedModel, LogitsCloseToFloat) {
+  Rng rng(4);
+  const auto cfg = bert_nano();
+  const auto wd = BertWeightsD::random(cfg, rng);
+  const FloatBert fm(wd);
+  const FixedBert xm(quantize(wd));
+  std::vector<std::size_t> tokens = {2, 8, 21, 13};
+  const auto fl = fm.forward(tokens);
+  const auto fx = xm.forward(tokens);
+  for (std::size_t i = 0; i < fl.size(); ++i) {
+    EXPECT_NEAR(fp_decode(fx[i]), fl[i], 0.35) << "logit " << i;
+  }
+}
+
+TEST(FixedLayerNorm, NormalizesRow) {
+  std::vector<std::int64_t> row = {fp_encode(1.0), fp_encode(2.0),
+                                   fp_encode(3.0), fp_encode(4.0)};
+  std::vector<std::int64_t> gamma(4, fp_encode(1.0));
+  std::vector<std::int64_t> beta(4, 0);
+  const auto out = fixed_layernorm_row(row, gamma, beta);
+  // Float reference: mean 2.5, std ~1.118 -> values ~ +-1.34, +-0.447.
+  EXPECT_NEAR(fp_decode(out[0]), -1.342, 0.1);
+  EXPECT_NEAR(fp_decode(out[1]), -0.447, 0.1);
+  EXPECT_NEAR(fp_decode(out[2]), 0.447, 0.1);
+  EXPECT_NEAR(fp_decode(out[3]), 1.342, 0.1);
+}
+
+TEST(FixedLayerNorm, GammaBetaApplied) {
+  std::vector<std::int64_t> row = {fp_encode(-1.0), fp_encode(1.0)};
+  std::vector<std::int64_t> gamma = {fp_encode(2.0), fp_encode(2.0)};
+  std::vector<std::int64_t> beta = {fp_encode(0.5), fp_encode(0.5)};
+  const auto out = fixed_layernorm_row(row, gamma, beta);
+  EXPECT_NEAR(fp_decode(out[0]), -2.0 + 0.5, 0.15);
+  EXPECT_NEAR(fp_decode(out[1]), 2.0 + 0.5, 0.15);
+}
+
+TEST(OneHot, RejectsOutOfVocab) {
+  const auto cfg = bert_nano();
+  EXPECT_THROW(one_hot_input({99, 0, 0, 0}, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace primer
