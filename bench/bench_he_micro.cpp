@@ -1,10 +1,24 @@
-// HE substrate microbenchmarks (google-benchmark): NTT, encryption,
-// decryption, homomorphic add / plain-mult / ct-mult / rotation across the
-// parameter profiles.  These are the primitive costs the table benches
-// compose; also the ablation data for the n=4096 vs n=8192 parameter choice
-// (DESIGN.md §5.5).
-#include <benchmark/benchmark.h>
+// HE substrate microbenchmarks: NTT, encryption, decryption, homomorphic
+// add / plain-mult / rotation / ct-mult across the parameter profiles, swept
+// over thread counts.
+//
+// Usage:
+//   bench_he_micro [--threads 1,2,4] [--reps N] [--min-time SECONDS]
+//
+// Each measurement reports wall-clock seconds, aggregate process CPU
+// seconds (so speedup-vs-threads and parallel efficiency are measurable),
+// and throughput.  Machine-readable JSON lines (prefixed "JSON ") are
+// emitted alongside the human table for the bench trajectory.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
 
+#include "bench_util.h"
+#include "common/parallel.h"
+#include "common/timing.h"
 #include "he/encoder.h"
 #include "he/he.h"
 #include "ntt/ntt.h"
@@ -13,6 +27,56 @@
 using namespace primer;
 
 namespace {
+
+struct Options {
+  std::vector<std::size_t> threads;
+  int reps = 3;             // batch repetitions per timed sample
+  double min_time = 0.05;   // seconds of sampling per benchmark
+};
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (bench::match_threads_flag(argc, argv, i, opt.threads)) {
+      continue;
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      opt.reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--min-time") == 0 && i + 1 < argc) {
+      opt.min_time = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  if (opt.threads.empty()) opt.threads = {num_threads()};
+  if (opt.reps < 1) opt.reps = 1;
+  if (opt.min_time < 0.0) opt.min_time = 0.0;
+  return opt;
+}
+
+// Runs `op` until min_time elapses; reports per-op wall/CPU seconds.
+void run_bench(const char* name, const char* label, std::size_t threads,
+               const Options& opt, const std::function<void()>& op) {
+  op();  // warm-up (twiddle caches, allocator)
+  std::uint64_t iters = 0;
+  CpuWallTimer timer;
+  do {
+    for (int r = 0; r < opt.reps; ++r) op();
+    iters += static_cast<std::uint64_t>(opt.reps);
+  } while (timer.wall_seconds() < opt.min_time);
+  const double wall = timer.wall_seconds();
+  const double cpu = timer.cpu_seconds();
+  const double per_op = wall / static_cast<double>(iters);
+  std::printf("%-24s %-10s threads=%zu %10.6fs/op %8.1f ops/s  cpu/wall=%4.2f\n",
+              name, label, threads, per_op,
+              per_op > 0 ? 1.0 / per_op : 0.0, wall > 0 ? cpu / wall : 0.0);
+  std::printf(
+      "JSON {\"bench\":\"%s\",\"label\":\"%s\",\"threads\":%zu,"
+      "\"iters\":%llu,\"wall_s\":%.6f,\"cpu_s\":%.6f,"
+      "\"wall_s_per_op\":%.9f,\"ops_per_s\":%.3f}\n",
+      name, label, threads, static_cast<unsigned long long>(iters), wall, cpu,
+      per_op, per_op > 0 ? 1.0 / per_op : 0.0);
+}
 
 struct HeFixture {
   explicit HeFixture(HeProfile profile)
@@ -44,89 +108,66 @@ struct HeFixture {
   Ciphertext ct, ct2;
 };
 
-HeFixture& fixture(int profile) {
-  static HeFixture test2048{HeProfile::kTest2048};
-  static HeFixture light4096{HeProfile::kLight4096};
-  static HeFixture prod8192{HeProfile::kProd8192};
-  switch (profile) {
-    case 0: return test2048;
-    case 1: return light4096;
-    default: return prod8192;
+void bench_ntt(std::size_t threads, const Options& opt) {
+  for (const std::size_t n : {std::size_t{2048}, std::size_t{4096},
+                              std::size_t{8192}}) {
+    const u64 p = generate_ntt_primes(50, n, 1)[0];
+    const Ntt ntt(n, p);
+    Rng rng(2);
+    // A batch models the independent polynomials of a bulk transform (RNS
+    // limbs x ciphertexts); larger than any thread count we sweep.
+    std::vector<std::vector<u64>> batch(16, std::vector<u64>(n));
+    for (auto& poly : batch) rng.fill_uniform_mod(poly, p);
+    char label[32];
+    std::snprintf(label, sizeof label, "n=%zu", n);
+    run_bench("ntt_forward_batch16", label, threads, opt,
+              [&] { ntt.forward_batch(batch); });
   }
 }
 
-void BM_NttForward(benchmark::State& state) {
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  const u64 p = generate_ntt_primes(50, n, 1)[0];
-  const Ntt ntt(n, p);
-  Rng rng(2);
-  std::vector<u64> a(n);
-  rng.fill_uniform_mod(a, p);
-  for (auto _ : state) {
-    ntt.forward(a);
-    benchmark::DoNotOptimize(a.data());
-  }
-}
-BENCHMARK(BM_NttForward)->Arg(2048)->Arg(4096)->Arg(8192);
-
-void BM_Encrypt(benchmark::State& state) {
-  auto& f = fixture(static_cast<int>(state.range(0)));
-  for (auto _ : state) benchmark::DoNotOptimize(f.enc.encrypt(f.pt));
-  state.SetLabel(f.ctx.params().name);
-}
-BENCHMARK(BM_Encrypt)->Arg(0)->Arg(1)->Arg(2);
-
-void BM_Decrypt(benchmark::State& state) {
-  auto& f = fixture(static_cast<int>(state.range(0)));
-  for (auto _ : state) benchmark::DoNotOptimize(f.dec.decrypt(f.ct));
-  state.SetLabel(f.ctx.params().name);
-}
-BENCHMARK(BM_Decrypt)->Arg(0)->Arg(1)->Arg(2);
-
-void BM_Add(benchmark::State& state) {
-  auto& f = fixture(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
+void bench_he(HeFixture& f, const char* label, std::size_t threads,
+              const Options& opt, bool with_ct_mult) {
+  run_bench("encrypt", label, threads, opt,
+            [&] { Ciphertext out = f.enc.encrypt(f.pt); (void)out; });
+  run_bench("decrypt", label, threads, opt,
+            [&] { Plaintext out = f.dec.decrypt(f.ct); (void)out; });
+  run_bench("add", label, threads, opt, [&] {
     Ciphertext a = f.ct;
     f.eval.add_inplace(a, f.ct2);
-    benchmark::DoNotOptimize(a);
-  }
-  state.SetLabel(f.ctx.params().name);
-}
-BENCHMARK(BM_Add)->Arg(0)->Arg(1)->Arg(2);
-
-void BM_MultiplyPlain(benchmark::State& state) {
-  auto& f = fixture(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
+  });
+  run_bench("multiply_plain", label, threads, opt, [&] {
     Ciphertext a = f.ct;
     f.eval.multiply_plain_inplace(a, f.pt);
-    benchmark::DoNotOptimize(a);
-  }
-  state.SetLabel(f.ctx.params().name);
-}
-BENCHMARK(BM_MultiplyPlain)->Arg(0)->Arg(1)->Arg(2);
-
-void BM_Rotate(benchmark::State& state) {
-  auto& f = fixture(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
+  });
+  run_bench("rotate", label, threads, opt, [&] {
     Ciphertext a = f.ct;
     f.eval.rotate_rows_inplace(a, 1, f.gk);
-    benchmark::DoNotOptimize(a);
+  });
+  if (with_ct_mult) {
+    run_bench("ct_mult_relin", label, threads, opt, [&] {
+      Ciphertext a = f.eval.multiply(f.ct, f.ct2);
+      f.eval.relinearize_inplace(a, f.rk);
+    });
   }
-  state.SetLabel(f.ctx.params().name);
 }
-BENCHMARK(BM_Rotate)->Arg(0)->Arg(1)->Arg(2);
-
-void BM_CtCtMultiplyRelin(benchmark::State& state) {
-  auto& f = fixture(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    Ciphertext a = f.eval.multiply(f.ct, f.ct2);
-    f.eval.relinearize_inplace(a, f.rk);
-    benchmark::DoNotOptimize(a);
-  }
-  state.SetLabel(f.ctx.params().name);
-}
-BENCHMARK(BM_CtCtMultiplyRelin)->Arg(0)->Arg(2);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+
+  HeFixture test2048(HeProfile::kTest2048);
+  HeFixture light4096(HeProfile::kLight4096);
+  HeFixture prod8192(HeProfile::kProd8192);
+
+  std::printf("hardware threads: %zu\n", hardware_threads());
+  for (const std::size_t t : opt.threads) {
+    set_num_threads(t);
+    std::printf("--- threads = %zu ---\n", t);
+    bench_ntt(t, opt);
+    bench_he(test2048, "test2048", t, opt, /*with_ct_mult=*/true);
+    bench_he(light4096, "light4096", t, opt, /*with_ct_mult=*/false);
+    bench_he(prod8192, "prod8192", t, opt, /*with_ct_mult=*/true);
+  }
+  return 0;
+}

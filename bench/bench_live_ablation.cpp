@@ -28,8 +28,10 @@ void print_live_row(const char* name, const PrimerRunResult& r) {
     }
     std::printf(" %6.2f/%-6.2f", off, on);
   }
-  std::printf(" | total %6.2f/%-6.2f  %6.1f MB\n", r.offline_total_s(),
-              r.online_total_s(), static_cast<double>(r.total_bytes) / 1e6);
+  std::printf(" | total %6.2f/%-6.2f  %6.1f MB  cpu %5.2f/%-5.2f\n",
+              r.offline_total_s(), r.online_total_s(),
+              static_cast<double>(r.total_bytes) / 1e6, r.offline_cpu_s,
+              r.online_cpu_s);
 }
 
 }  // namespace

@@ -1,16 +1,36 @@
 // Reproduces the Fig. 6 design claim: tokens-first packing cuts homomorphic
 // rotations by a factor ~n versus feature-based packing.  Reports both the
 // count model at BERT dimensions and LIVE encrypted matmuls (real rotations,
-// real wall time) at reduced dimensions.
+// real wall time) at reduced dimensions, swept over thread counts.
+//
+// Usage: bench_packing [--threads 1,2,4]
+//
+// Live runs report wall-clock and aggregate process-CPU seconds so the
+// speedup-vs-threads of the parallel execution layer is measurable; JSON
+// lines (prefixed "JSON ") carry the same data machine-readably.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
 
+#include "bench_util.h"
+#include "common/parallel.h"
 #include "common/timing.h"
 #include "proto/packing.h"
 #include "ss/secret_share.h"
 
 using namespace primer;
 
-int main() {
+int main(int argc, char** argv) {
+  std::vector<std::size_t> threads;
+  for (int i = 1; i < argc; ++i) {
+    if (!bench::match_threads_flag(argc, argv, i, threads)) {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (threads.empty()) threads = {num_threads()};
+
   // ---- count model at paper dimensions -----------------------------------
   std::printf("=== Rotation counts (model, M = 4096 slots) ===\n");
   std::printf("%-32s %14s %14s %8s\n", "matmul shape", "feature-based",
@@ -49,24 +69,38 @@ int main() {
   const auto gk = keygen.make_galois_keys({1, 8});
   const ShareRing ring(ctx.t());
 
-  std::printf("%-16s %10s %10s %12s\n", "strategy", "rotations", "mults",
-              "seconds");
-  for (const auto strategy :
-       {PackingStrategy::kFeatureBased, PackingStrategy::kTokensFirst}) {
-    const MatI x = ring.random(rng, 8, 64);
-    const MatI w = random_fp_matrix(rng, 64, 16, -1.0, 1.0);
-    PackedMatmul mm(ctx, encoder, eval, strategy);
-    const auto packed = mm.encrypt_input(x, enc);
-    PackedMatmulStats stats;
-    Stopwatch sw;
-    const auto result = mm.multiply(packed, w, 8, ctx.t(), gk, &stats);
-    const double secs = sw.seconds();
-    (void)mm.decrypt_result(result, dec, 8, 16);
-    std::printf("%-16s %10llu %10llu %11.3fs\n",
-                strategy == PackingStrategy::kTokensFirst ? "tokens-first"
-                                                          : "feature-based",
-                static_cast<unsigned long long>(stats.rotations),
-                static_cast<unsigned long long>(stats.plain_mults), secs);
+  std::printf("%-16s %8s %10s %10s %10s %10s %9s\n", "strategy", "threads",
+              "rotations", "mults", "wall_s", "cpu_s", "cpu/wall");
+  for (const std::size_t nthreads : threads) {
+    set_num_threads(nthreads);
+    for (const auto strategy :
+         {PackingStrategy::kFeatureBased, PackingStrategy::kTokensFirst}) {
+      // Fresh deterministic inputs per run: sampling stays on this thread.
+      Rng data_rng(7);
+      const MatI x = ring.random(data_rng, 8, 64);
+      const MatI w = random_fp_matrix(data_rng, 64, 16, -1.0, 1.0);
+      PackedMatmul mm(ctx, encoder, eval, strategy);
+      const auto packed = mm.encrypt_input(x, enc);
+      PackedMatmulStats stats;
+      CpuWallTimer timer;
+      const auto result = mm.multiply(packed, w, 8, ctx.t(), gk, &stats);
+      const double wall = timer.wall_seconds();
+      const double cpu = timer.cpu_seconds();
+      (void)mm.decrypt_result(result, dec, 8, 16);
+      const char* name = strategy == PackingStrategy::kTokensFirst
+                             ? "tokens-first"
+                             : "feature-based";
+      std::printf("%-16s %8zu %10llu %10llu %9.3fs %9.3fs %8.2f\n", name,
+                  nthreads, static_cast<unsigned long long>(stats.rotations),
+                  static_cast<unsigned long long>(stats.plain_mults), wall,
+                  cpu, wall > 0 ? cpu / wall : 0.0);
+      std::printf(
+          "JSON {\"bench\":\"packed_matmul\",\"strategy\":\"%s\","
+          "\"threads\":%zu,\"rotations\":%llu,\"plain_mults\":%llu,"
+          "\"wall_s\":%.6f,\"cpu_s\":%.6f}\n",
+          name, nthreads, static_cast<unsigned long long>(stats.rotations),
+          static_cast<unsigned long long>(stats.plain_mults), wall, cpu);
+    }
   }
   return 0;
 }

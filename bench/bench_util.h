@@ -1,0 +1,51 @@
+// Shared helpers for the bench executables' command-line handling.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace primer::bench {
+
+// Parses a comma-separated list of thread counts ("1,2,4").  A "0" entry
+// selects the hardware concurrency (matching set_num_threads(0)).  Returns
+// false on an empty list or any non-numeric token.
+inline bool parse_thread_list(const char* s, std::vector<std::size_t>& out) {
+  out.clear();
+  const char* p = s;
+  while (*p != '\0') {
+    char* endp = nullptr;
+    const long v = std::strtol(p, &endp, 10);
+    if (endp == p || v < 0 || (*endp != '\0' && *endp != ',')) return false;
+    out.push_back(v == 0 ? hardware_threads() : static_cast<std::size_t>(v));
+    p = (*endp == ',') ? endp + 1 : endp;
+  }
+  return !out.empty();
+}
+
+// Consumes a "--threads LIST" / "--threads=LIST" flag at argv[i], advancing
+// i past a separate value.  Returns false if argv[i] is a different flag.
+// A malformed list is a hard usage error (exit 2) — silently benching the
+// wrong thread set would corrupt sweep trajectories.
+inline bool match_threads_flag(int argc, char** argv, int& i,
+                               std::vector<std::size_t>& out) {
+  const char* val = nullptr;
+  if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+    val = argv[++i];
+  } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+    val = argv[i] + 10;
+  } else {
+    return false;
+  }
+  if (!parse_thread_list(val, out)) {
+    std::fprintf(stderr, "invalid --threads list: %s\n", val);
+    std::exit(2);
+  }
+  return true;
+}
+
+}  // namespace primer::bench

@@ -41,6 +41,7 @@ class ByteWriter {
   const std::vector<std::uint8_t>& data() const { return buf_; }
   std::size_t size() const { return buf_.size(); }
   std::vector<std::uint8_t> take() { return std::move(buf_); }
+  void reserve(std::size_t n) { buf_.reserve(n); }
 
  private:
   void append(const void* p, std::size_t n) {
@@ -53,7 +54,18 @@ class ByteWriter {
 
 class ByteReader {
  public:
-  explicit ByteReader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& buf)
+      : buf_(buf), pos_(0), limit_(buf.size()) {}
+
+  // Reader over the sub-message buf[begin, end) — lets bulk decoders hand
+  // independent slices of one framed message to parallel workers.
+  ByteReader(const std::vector<std::uint8_t>& buf, std::size_t begin,
+             std::size_t end)
+      : buf_(buf), pos_(begin), limit_(end) {
+    if (begin > end || end > buf.size()) {
+      throw std::out_of_range("ByteReader: bad sub-range");
+    }
+  }
 
   std::uint8_t u8() {
     check(1);
@@ -100,12 +112,19 @@ class ByteReader {
     return v;
   }
 
-  bool done() const { return pos_ == buf_.size(); }
-  std::size_t remaining() const { return buf_.size() - pos_; }
+  bool done() const { return pos_ == limit_; }
+  std::size_t remaining() const { return limit_ - pos_; }
+  std::size_t position() const { return pos_; }
+
+  // Advances past n bytes without copying them out.
+  void skip(std::size_t n) {
+    check(n);
+    pos_ += n;
+  }
 
  private:
   void check(std::size_t n) const {
-    if (pos_ + n > buf_.size()) {
+    if (pos_ + n > limit_) {
       throw std::out_of_range("ByteReader: truncated message (" +
                               std::to_string(n) + " bytes past end)");
     }
@@ -119,6 +138,7 @@ class ByteReader {
 
   const std::vector<std::uint8_t>& buf_;
   std::size_t pos_ = 0;
+  std::size_t limit_ = 0;
 };
 
 }  // namespace primer

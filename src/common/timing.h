@@ -6,6 +6,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <ctime>
 #include <map>
 #include <string>
 
@@ -26,11 +27,39 @@ class Stopwatch {
   clock::time_point start_;
 };
 
+// CPU time consumed by the whole process (all threads).  With the parallel
+// executor enabled, cpu_seconds / wall_seconds measures effective
+// parallelism; on one thread the two coincide up to scheduler noise.
+inline double process_cpu_seconds() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+// Measures wall and aggregate-CPU time over the same interval.
+class CpuWallTimer {
+ public:
+  CpuWallTimer() : cpu_start_(process_cpu_seconds()) {}
+
+  double wall_seconds() const { return wall_.seconds(); }
+  double cpu_seconds() const { return process_cpu_seconds() - cpu_start_; }
+
+ private:
+  Stopwatch wall_;
+  double cpu_start_;
+};
+
 // Named accumulation of compute seconds and primitive-operation counts,
 // keyed by phase ("offline" / "online") and step name ("embed", "qkv",
 // "qk", "softmax", "attn_v", "others" — the columns of Table II).
 struct PhaseCost {
-  double compute_seconds = 0.0;
+  double compute_seconds = 0.0;  // wall-clock compute
+  double cpu_seconds = 0.0;      // aggregate CPU across worker threads
   double network_seconds = 0.0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t rounds = 0;
@@ -44,6 +73,7 @@ struct PhaseCost {
 
   PhaseCost& operator+=(const PhaseCost& o) {
     compute_seconds += o.compute_seconds;
+    cpu_seconds += o.cpu_seconds;
     network_seconds += o.network_seconds;
     bytes_sent += o.bytes_sent;
     rounds += o.rounds;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace primer {
@@ -48,13 +49,17 @@ HeContext::HeContext(HeParams params) : params_(std::move(params)) {
 
 void HeContext::to_ntt(RnsPoly& p) const {
   if (p.ntt_form) return;
-  for (std::size_t i = 0; i < p.rns_size(); ++i) ntts_[i]->forward(p.comp[i]);
+  // RNS limbs are independent transforms over distinct primes.  Cost hint:
+  // ~n log n butterflies of a couple of ops each per limb.
+  parallel_for(0, p.rns_size(), degree() * 32,
+               [&](std::size_t i) { ntts_[i]->forward(p.comp[i]); });
   p.ntt_form = true;
 }
 
 void HeContext::to_coeff(RnsPoly& p) const {
   if (!p.ntt_form) return;
-  for (std::size_t i = 0; i < p.rns_size(); ++i) ntts_[i]->inverse(p.comp[i]);
+  parallel_for(0, p.rns_size(), degree() * 32,
+               [&](std::size_t i) { ntts_[i]->inverse(p.comp[i]); });
   p.ntt_form = false;
 }
 
@@ -62,24 +67,24 @@ void HeContext::add_inplace(RnsPoly& a, const RnsPoly& b) const {
   if (!a.same_shape(b) || a.ntt_form != b.ntt_form) {
     throw std::invalid_argument("HeContext::add_inplace: shape/domain");
   }
-  for (std::size_t i = 0; i < a.rns_size(); ++i) {
+  parallel_for(0, a.rns_size(), degree(), [&](std::size_t i) {
     const u64 p = params_.q[i];
     auto& av = a.comp[i];
     const auto& bv = b.comp[i];
     for (std::size_t j = 0; j < av.size(); ++j) av[j] = add_mod(av[j], bv[j], p);
-  }
+  });
 }
 
 void HeContext::sub_inplace(RnsPoly& a, const RnsPoly& b) const {
   if (!a.same_shape(b) || a.ntt_form != b.ntt_form) {
     throw std::invalid_argument("HeContext::sub_inplace: shape/domain");
   }
-  for (std::size_t i = 0; i < a.rns_size(); ++i) {
+  parallel_for(0, a.rns_size(), degree(), [&](std::size_t i) {
     const u64 p = params_.q[i];
     auto& av = a.comp[i];
     const auto& bv = b.comp[i];
     for (std::size_t j = 0; j < av.size(); ++j) av[j] = sub_mod(av[j], bv[j], p);
-  }
+  });
 }
 
 void HeContext::negate_inplace(RnsPoly& a) const {
@@ -99,12 +104,14 @@ void HeContext::multiply_inplace(RnsPoly& a, const RnsPoly& b) const {
   if (!a.ntt_form || !b.ntt_form) {
     throw std::invalid_argument("HeContext::multiply: operands must be NTT");
   }
-  for (std::size_t i = 0; i < a.rns_size(); ++i) {
+  // Barrett reduce128 is a 128-bit modulo — roughly an order of magnitude
+  // costlier per element than an add.
+  parallel_for(0, a.rns_size(), degree() * 16, [&](std::size_t i) {
     const Barrett& br = barretts_[i];
     auto& av = a.comp[i];
     const auto& bv = b.comp[i];
     for (std::size_t j = 0; j < av.size(); ++j) av[j] = br.mul(av[j], bv[j]);
-  }
+  });
 }
 
 void HeContext::scalar_multiply_inplace(RnsPoly& a, u64 scalar) const {

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/parallel.h"
+
 namespace primer {
 
 // ---------------------------------------------------------------------------
@@ -178,11 +180,14 @@ Plaintext Decryptor::decrypt(const Ciphertext& ct) const {
   const std::size_t k = ctx_.rns_size();
   Plaintext pt;
   pt.coeffs.resize(n);
-  std::vector<u64> residues(k);
-  for (std::size_t j = 0; j < n; ++j) {
-    for (std::size_t i = 0; i < k; ++i) residues[i] = acc.comp[i][j];
-    pt.coeffs[j] = ctx_.compose_center_mod_t(residues);
-  }
+  // Per-coefficient CRT composition is independent pure arithmetic.
+  parallel_for_chunks(0, n, [&](std::size_t lo, std::size_t hi) {
+    std::vector<u64> residues(k);
+    for (std::size_t j = lo; j < hi; ++j) {
+      for (std::size_t i = 0; i < k; ++i) residues[i] = acc.comp[i][j];
+      pt.coeffs[j] = ctx_.compose_center_mod_t(residues);
+    }
+  });
   return pt;
 }
 
@@ -287,7 +292,11 @@ void Evaluator::key_switch(const RnsPoly& c_coeff, const KSwitchKey& key,
   }
   const std::size_t k = ctx_.rns_size();
   const std::size_t n = ctx_.degree();
-  for (std::size_t i = 0; i < k; ++i) {
+  // The k digit products are independent; compute them in parallel and
+  // accumulate serially in digit order.  Modular addition is exact, so the
+  // result is identical to the serial path either way.
+  std::vector<RnsPoly> digit_b(k), digit_a(k);
+  parallel_for(0, k, [&](std::size_t i) {
     // RNS digit i: the residue vector mod q_i, re-reduced modulo every q_j.
     RnsPoly digit(k, n, false);
     for (std::size_t j = 0; j < k; ++j) {
@@ -297,10 +306,13 @@ void Evaluator::key_switch(const RnsPoly& c_coeff, const KSwitchKey& key,
       }
     }
     ctx_.to_ntt(digit);
-    RnsPoly t0 = ctx_.multiply(digit, key.b[i]);
-    ctx_.add_inplace(acc0, t0);
+    digit_b[i] = ctx_.multiply(digit, key.b[i]);
     ctx_.multiply_inplace(digit, key.a[i]);
-    ctx_.add_inplace(acc1, digit);
+    digit_a[i] = std::move(digit);
+  });
+  for (std::size_t i = 0; i < k; ++i) {
+    ctx_.add_inplace(acc0, digit_b[i]);
+    ctx_.add_inplace(acc1, digit_a[i]);
   }
 }
 

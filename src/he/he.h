@@ -4,6 +4,7 @@
 // techniques reduce).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -16,14 +17,47 @@
 
 namespace primer {
 
+// Copyable relaxed atomic counter: evaluator ops may be issued from pool
+// workers (e.g. the packed matmul parallelizes per output ciphertext), so
+// the shared counters must tolerate concurrent increments.  Counts are pure
+// tallies — relaxed ordering is sufficient — and snapshot copies (the
+// step-accounting before/after pattern) stay cheap.
+class OpCount {
+ public:
+  OpCount() = default;
+  OpCount(std::uint64_t v) : v_(v) {}
+  OpCount(const OpCount& o) : v_(o.get()) {}
+  OpCount& operator=(const OpCount& o) {
+    v_.store(o.get(), std::memory_order_relaxed);
+    return *this;
+  }
+  OpCount& operator=(std::uint64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+  OpCount& operator++() {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  OpCount& operator+=(std::uint64_t d) {
+    v_.fetch_add(d, std::memory_order_relaxed);
+    return *this;
+  }
+  operator std::uint64_t() const { return get(); }
+  std::uint64_t get() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
 struct HeOpCounters {
-  std::uint64_t encryptions = 0;
-  std::uint64_t decryptions = 0;
-  std::uint64_t adds = 0;
-  std::uint64_t plain_mults = 0;
-  std::uint64_t ct_mults = 0;
-  std::uint64_t rotations = 0;
-  std::uint64_t relins = 0;
+  OpCount encryptions;
+  OpCount decryptions;
+  OpCount adds;
+  OpCount plain_mults;
+  OpCount ct_mults;
+  OpCount rotations;
+  OpCount relins;
 
   void clear() { *this = HeOpCounters{}; }
 };

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/parallel.h"
 #include "ntt/primes.h"
 
 namespace primer {
@@ -89,6 +90,14 @@ void Ntt::inverse(std::vector<u64>& a) const {
     t <<= 1;
   }
   for (auto& x : a) x = n_inv_.mul(x, p_);
+}
+
+void Ntt::forward_batch(std::vector<std::vector<u64>>& polys) const {
+  parallel_for(0, polys.size(), [&](std::size_t i) { forward(polys[i]); });
+}
+
+void Ntt::inverse_batch(std::vector<std::vector<u64>>& polys) const {
+  parallel_for(0, polys.size(), [&](std::size_t i) { inverse(polys[i]); });
 }
 
 void Ntt::pointwise(const std::vector<u64>& a, const std::vector<u64>& b,

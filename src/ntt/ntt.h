@@ -30,6 +30,13 @@ class Ntt {
   // In-place inverse transform (evaluation -> coefficient domain).
   void inverse(std::vector<u64>& a) const;
 
+  // Batched transforms over independent polynomials, parallelized across
+  // the global executor (common/parallel.h).  Each polynomial is
+  // transformed exactly as by forward()/inverse(), so results are
+  // bit-identical to the serial loop regardless of thread count.
+  void forward_batch(std::vector<std::vector<u64>>& polys) const;
+  void inverse_batch(std::vector<std::vector<u64>>& polys) const;
+
   // out[i] = a[i] * b[i] mod p.
   void pointwise(const std::vector<u64>& a, const std::vector<u64>& b,
                  std::vector<u64>& out) const;

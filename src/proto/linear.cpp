@@ -1,5 +1,7 @@
 #include "proto/linear.h"
 
+#include "common/parallel.h"
+
 namespace primer {
 
 namespace {
@@ -30,9 +32,11 @@ void HgsLinear::offline(const std::string& step_name, const MatI& rc) {
     auto result = mm_.multiply(received, w_, tokens_, pc_.t(), pc_.gk, &stats);
     rs_ = pc_.ring.random(pc_.server_rng, tokens_, w_.cols());
     // Subtract Rs slotwise: encode Rs in the output layout of the matmul.
+    // Rs is sampled above on the calling thread; masking each result
+    // ciphertext is pure arithmetic and runs in parallel.
     const std::size_t row = pc_.encoder.row_size();
     const std::size_t fpc = row / tokens_;
-    for (std::size_t rcname = 0; rcname < result.size(); ++rcname) {
+    parallel_for(0, result.size(), [&](std::size_t rcname) {
       std::vector<u64> slots(row, 0);
       for (std::size_t b = 0; b < fpc; ++b) {
         const std::size_t o = rcname * fpc + b;
@@ -42,7 +46,7 @@ void HgsLinear::offline(const std::string& step_name, const MatI& rc) {
         }
       }
       pc_.eval.sub_plain_inplace(result[rcname], pc_.encoder.encode(slots));
-    }
+    });
     pc_.send_cts(Party::kServer, result);
 
     // Client: decrypt Rc*W - Rs.
@@ -82,7 +86,9 @@ LinearShares BaseLinear::online(const std::string& step_name, const MatI& xc,
     MatI rs = pc_.ring.random(pc_.server_rng, tokens_, w_.cols());
     const std::size_t row = pc_.encoder.row_size();
     const std::size_t fpc = row / tokens_;
-    for (std::size_t rcname = 0; rcname < result.size(); ++rcname) {
+    // Per-column share reconstruction: every result ciphertext gains its
+    // own slice of Xs*W - Rs, independently of the others.
+    parallel_for(0, result.size(), [&](std::size_t rcname) {
       std::vector<u64> plus(row, 0);
       for (std::size_t b = 0; b < fpc; ++b) {
         const std::size_t o = rcname * fpc + b;
@@ -93,7 +99,7 @@ LinearShares BaseLinear::online(const std::string& step_name, const MatI& xc,
         }
       }
       pc_.eval.add_plain_inplace(result[rcname], pc_.encoder.encode(plus));
-    }
+    });
     pc_.send_cts(Party::kServer, result);
 
     // Client decrypts its share; server keeps Rs (+ bias).

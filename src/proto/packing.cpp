@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/fixed_point.h"
+#include "common/parallel.h"
 
 namespace primer {
 
@@ -141,9 +142,14 @@ std::vector<Ciphertext> PackedMatmul::multiply(
   const int step = rotation_step(n);
 
   std::vector<Ciphertext> result(out_cts);
-  std::vector<bool> result_set(out_cts, false);
 
-  for (std::size_t oc = 0; oc < out_cts; ++oc) {
+  // Each output ciphertext is an independent Horner chain over the (const)
+  // input ciphertexts — the HGS offline heavy path.  Parallelize across
+  // output ciphertexts; per-oc stats are merged in order afterwards so the
+  // tallies match the serial loop exactly.
+  std::vector<PackedMatmulStats> oc_stats(out_cts);
+  parallel_for(0, out_cts, [&](std::size_t oc) {
+    bool result_set = false;
     for (std::size_t ci = 0; ci < packed.size(); ++ci) {
       // Build the Horner chain for (input ci, output ct oc).
       Ciphertext acc;
@@ -178,17 +184,17 @@ std::vector<Ciphertext> PackedMatmul::multiply(
 
         if (acc_set) {
           eval_.rotate_rows_inplace(acc, step, gk);
-          ++local.rotations;
+          ++oc_stats[oc].rotations;
         }
         if (!all_zero(mask)) {
           Ciphertext term = packed[ci];
           const auto pre = rotate_right_plain(
               mask, (k * static_cast<std::size_t>(step)) % row, row);
           eval_.multiply_plain_inplace(term, encoder_.encode(pre));
-          ++local.plain_mults;
+          ++oc_stats[oc].plain_mults;
           if (acc_set) {
             eval_.add_inplace(acc, term);
-            ++local.adds;
+            ++oc_stats[oc].adds;
           } else {
             acc = std::move(term);
             acc_set = true;
@@ -200,19 +206,24 @@ std::vector<Ciphertext> PackedMatmul::multiply(
         }
       }
       if (!acc_set) continue;
-      if (result_set[oc]) {
+      if (result_set) {
         eval_.add_inplace(result[oc], acc);
-        ++local.adds;
+        ++oc_stats[oc].adds;
       } else {
         result[oc] = std::move(acc);
-        result_set[oc] = true;
+        result_set = true;
       }
     }
-    if (!result_set[oc]) {
+    if (!result_set) {
       throw std::runtime_error("PackedMatmul: empty output ciphertext");
     }
-  }
+  });
 
+  for (const auto& s : oc_stats) {
+    local.rotations += s.rotations;
+    local.plain_mults += s.plain_mults;
+    local.adds += s.adds;
+  }
   if (stats != nullptr) *stats += local;
   return result;
 }
@@ -223,7 +234,8 @@ MatI PackedMatmul::decrypt_result(const std::vector<Ciphertext>& result,
   const std::size_t row = encoder_.row_size();
   MatI out(tokens, d_out);
   const std::size_t per_ct = row / tokens;  // output blocks per ciphertext
-  for (std::size_t rc = 0; rc < result.size(); ++rc) {
+  // Each result ciphertext decrypts into its own disjoint column block.
+  parallel_for(0, result.size(), [&](std::size_t rc) {
     const auto slots = encoder_.decode(dec.decrypt(result[rc]));
     for (std::size_t b = 0; b < per_ct; ++b) {
       const std::size_t o = rc * per_ct + b;
@@ -232,7 +244,7 @@ MatI PackedMatmul::decrypt_result(const std::vector<Ciphertext>& result,
         out(i, o) = static_cast<std::int64_t>(slots[b * tokens + i]);
       }
     }
-  }
+  });
   return out;
 }
 

@@ -565,8 +565,10 @@ PrimerRunResult PrimerEngine::run(const std::vector<std::size_t>& tokens) {
   const PhaseCost on_total = pc.costs.phase_total("online");
   result.offline_compute_s = off_total.compute_seconds;
   result.offline_network_s = off_total.network_seconds;
+  result.offline_cpu_s = off_total.cpu_seconds;
   result.online_compute_s = on_total.compute_seconds;
   result.online_network_s = on_total.network_seconds;
+  result.online_cpu_s = on_total.cpu_seconds;
   result.total_bytes = pc.channel.total_bytes();
   result.rounds = pc.channel.flights();
   return result;

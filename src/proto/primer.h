@@ -34,8 +34,10 @@ struct PrimerRunResult {
   std::size_t predicted = 0;
   double offline_compute_s = 0;
   double offline_network_s = 0;
+  double offline_cpu_s = 0;  // aggregate CPU across pool workers
   double online_compute_s = 0;
   double online_network_s = 0;
+  double online_cpu_s = 0;
   std::uint64_t total_bytes = 0;
   std::uint64_t rounds = 0;
   CostAccumulator costs;  // per step breakdown (Table II columns)

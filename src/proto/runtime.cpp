@@ -1,5 +1,7 @@
 #include "proto/runtime.h"
 
+#include "common/parallel.h"
+
 namespace primer {
 
 ProtocolContext::ProtocolContext(HeProfile profile, std::uint64_t seed,
@@ -21,12 +23,14 @@ void ProtocolContext::step(const std::string& phase,
                            const std::function<void()>& fn) {
   const auto net_before = channel.snapshot();
   const HeOpCounters he_before = eval.counters();
-  Stopwatch sw;
+  CpuWallTimer timer;
   fn();
-  const double secs = sw.seconds();
+  const double secs = timer.wall_seconds();
+  const double cpu = timer.cpu_seconds();
   const auto net_delta = channel.delta_since(net_before);
   PhaseCost& cost = costs.at(phase, step_name);
   cost.compute_seconds += secs;
+  cost.cpu_seconds += cpu;
   cost.network_seconds += net_delta.seconds;
   cost.bytes_sent += net_delta.bytes;
   cost.rounds += net_delta.flights;
@@ -38,9 +42,21 @@ void ProtocolContext::step(const std::string& phase,
 }
 
 void ProtocolContext::send_cts(Party from, const std::vector<Ciphertext>& cts) {
+  // Each ciphertext is framed with its byte length so the receiver can
+  // split the message and decode slices in parallel; encoding itself is
+  // likewise parallel (one writer per ciphertext, concatenated in order).
+  std::vector<ByteWriter> writers(cts.size());
+  parallel_for(0, cts.size(),
+               [&](std::size_t i) { eval.serialize(cts[i], writers[i]); });
+  std::size_t total = 4;
+  for (const auto& wr : writers) total += 4 + wr.size();
   ByteWriter w;
+  w.reserve(total);
   w.u32(static_cast<std::uint32_t>(cts.size()));
-  for (const auto& ct : cts) eval.serialize(ct, w);
+  for (const auto& wr : writers) {
+    w.u32(static_cast<std::uint32_t>(wr.size()));
+    w.bytes(wr.data().data(), wr.size());
+  }
   channel.send(from, w.take());
 }
 
@@ -48,9 +64,19 @@ std::vector<Ciphertext> ProtocolContext::recv_cts(Party to) {
   const auto bytes = channel.recv(to);
   ByteReader r(bytes);
   const auto count = r.u32();
-  std::vector<Ciphertext> cts;
-  cts.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) cts.push_back(eval.deserialize(r));
+  // Scan the frame lengths, then decode every slice independently.
+  std::vector<std::size_t> begin(count), end(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto len = r.u32();
+    begin[i] = r.position();
+    end[i] = begin[i] + len;
+    r.skip(len);
+  }
+  std::vector<Ciphertext> cts(count);
+  parallel_for(0, count, [&](std::size_t i) {
+    ByteReader slice(bytes, begin[i], end[i]);
+    cts[i] = eval.deserialize(slice);
+  });
   return cts;
 }
 
