@@ -1,14 +1,18 @@
 // HE substrate microbenchmarks: NTT, encryption, decryption, homomorphic
 // add / plain-mult / rotation / ct-mult across the parameter profiles, swept
-// over thread counts.
+// over thread counts and NTT kernel sets.
 //
 // Usage:
-//   bench_he_micro [--threads 1,2,4] [--reps N] [--min-time SECONDS]
+//   bench_he_micro [--threads 1,2,4] [--kernel scalar,avx2] [--reps N]
+//                  [--min-time SECONDS] [--json]
 //
 // Each measurement reports wall-clock seconds, aggregate process CPU
 // seconds (so speedup-vs-threads and parallel efficiency are measurable),
 // and throughput.  Machine-readable JSON lines (prefixed "JSON ") are
-// emitted alongside the human table for the bench trajectory.
+// emitted alongside the human table for the bench trajectory; --json
+// suppresses the human-readable lines.  --kernel re-runs the suite once per
+// kernel set (via the PRIMER_NTT_KERNEL override); every JSON line carries
+// the kernel it ran on.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +25,7 @@
 #include "common/timing.h"
 #include "he/encoder.h"
 #include "he/he.h"
+#include "ntt/kernels.h"
 #include "ntt/ntt.h"
 #include "ntt/primes.h"
 
@@ -30,8 +35,10 @@ namespace {
 
 struct Options {
   std::vector<std::size_t> threads;
+  std::vector<std::string> kernels;  // empty -> automatic dispatch only
   int reps = 3;             // batch repetitions per timed sample
   double min_time = 0.05;   // seconds of sampling per benchmark
+  bool json_only = false;
 };
 
 Options parse_args(int argc, char** argv) {
@@ -39,6 +46,18 @@ Options parse_args(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (bench::match_threads_flag(argc, argv, i, opt.threads)) {
       continue;
+    } else if (std::strcmp(argv[i], "--kernel") == 0 && i + 1 < argc) {
+      std::string list = argv[++i];
+      std::size_t pos = 0;
+      while (pos != std::string::npos) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string k = list.substr(
+            pos, comma == std::string::npos ? comma : comma - pos);
+        if (!k.empty()) opt.kernels.push_back(k);
+        pos = comma == std::string::npos ? comma : comma + 1;
+      }
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      opt.json_only = true;
     } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
       opt.reps = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--min-time") == 0 && i + 1 < argc) {
@@ -55,8 +74,9 @@ Options parse_args(int argc, char** argv) {
 }
 
 // Runs `op` until min_time elapses; reports per-op wall/CPU seconds.
-void run_bench(const char* name, const char* label, std::size_t threads,
-               const Options& opt, const std::function<void()>& op) {
+void run_bench(const char* name, const char* label, const char* kernel,
+               std::size_t threads, const Options& opt,
+               const std::function<void()>& op) {
   op();  // warm-up (twiddle caches, allocator)
   std::uint64_t iters = 0;
   CpuWallTimer timer;
@@ -67,15 +87,19 @@ void run_bench(const char* name, const char* label, std::size_t threads,
   const double wall = timer.wall_seconds();
   const double cpu = timer.cpu_seconds();
   const double per_op = wall / static_cast<double>(iters);
-  std::printf("%-24s %-10s threads=%zu %10.6fs/op %8.1f ops/s  cpu/wall=%4.2f\n",
-              name, label, threads, per_op,
-              per_op > 0 ? 1.0 / per_op : 0.0, wall > 0 ? cpu / wall : 0.0);
+  if (!opt.json_only) {
+    std::printf(
+        "%-24s %-10s kernel=%-6s threads=%zu %10.6fs/op %8.1f ops/s  "
+        "cpu/wall=%4.2f\n",
+        name, label, kernel, threads, per_op,
+        per_op > 0 ? 1.0 / per_op : 0.0, wall > 0 ? cpu / wall : 0.0);
+  }
   std::printf(
-      "JSON {\"bench\":\"%s\",\"label\":\"%s\",\"threads\":%zu,"
-      "\"iters\":%llu,\"wall_s\":%.6f,\"cpu_s\":%.6f,"
+      "JSON {\"bench\":\"%s\",\"label\":\"%s\",\"kernel\":\"%s\","
+      "\"threads\":%zu,\"iters\":%llu,\"wall_s\":%.6f,\"cpu_s\":%.6f,"
       "\"wall_s_per_op\":%.9f,\"ops_per_s\":%.3f}\n",
-      name, label, threads, static_cast<unsigned long long>(iters), wall, cpu,
-      per_op, per_op > 0 ? 1.0 / per_op : 0.0);
+      name, label, kernel, threads, static_cast<unsigned long long>(iters),
+      wall, cpu, per_op, per_op > 0 ? 1.0 / per_op : 0.0);
 }
 
 struct HeFixture {
@@ -114,40 +138,69 @@ void bench_ntt(std::size_t threads, const Options& opt) {
     const u64 p = generate_ntt_primes(50, n, 1)[0];
     const Ntt ntt(n, p);
     Rng rng(2);
+    char label[32];
+    std::snprintf(label, sizeof label, "n=%zu", n);
+
+    // Single transform: the per-core kernel cost the AVX2 path targets.
+    std::vector<u64> poly(n);
+    rng.fill_uniform_mod(poly, p);
+    run_bench("ntt_forward", label, ntt.kernel_name(), threads, opt,
+              [&] { ntt.forward(poly.data()); });
+    run_bench("ntt_inverse", label, ntt.kernel_name(), threads, opt,
+              [&] { ntt.inverse(poly.data()); });
+
     // A batch models the independent polynomials of a bulk transform (RNS
     // limbs x ciphertexts); larger than any thread count we sweep.
     std::vector<std::vector<u64>> batch(16, std::vector<u64>(n));
-    for (auto& poly : batch) rng.fill_uniform_mod(poly, p);
-    char label[32];
-    std::snprintf(label, sizeof label, "n=%zu", n);
-    run_bench("ntt_forward_batch16", label, threads, opt,
+    for (auto& b : batch) rng.fill_uniform_mod(b, p);
+    run_bench("ntt_forward_batch16", label, ntt.kernel_name(), threads, opt,
               [&] { ntt.forward_batch(batch); });
   }
 }
 
 void bench_he(HeFixture& f, const char* label, std::size_t threads,
               const Options& opt, bool with_ct_mult) {
-  run_bench("encrypt", label, threads, opt,
+  const char* kernel = f.ctx.kernel_name();
+  run_bench("encrypt", label, kernel, threads, opt,
             [&] { Ciphertext out = f.enc.encrypt(f.pt); (void)out; });
-  run_bench("decrypt", label, threads, opt,
+  run_bench("decrypt", label, kernel, threads, opt,
             [&] { Plaintext out = f.dec.decrypt(f.ct); (void)out; });
-  run_bench("add", label, threads, opt, [&] {
+  run_bench("add", label, kernel, threads, opt, [&] {
     Ciphertext a = f.ct;
     f.eval.add_inplace(a, f.ct2);
   });
-  run_bench("multiply_plain", label, threads, opt, [&] {
+  run_bench("multiply_plain", label, kernel, threads, opt, [&] {
     Ciphertext a = f.ct;
     f.eval.multiply_plain_inplace(a, f.pt);
   });
-  run_bench("rotate", label, threads, opt, [&] {
+  run_bench("multiply_plain_acc", label, kernel, threads, opt, [&] {
+    Ciphertext a = f.ct;
+    f.eval.multiply_plain_accumulate(a, f.ct2, f.pt);
+  });
+  run_bench("rotate", label, kernel, threads, opt, [&] {
     Ciphertext a = f.ct;
     f.eval.rotate_rows_inplace(a, 1, f.gk);
   });
   if (with_ct_mult) {
-    run_bench("ct_mult_relin", label, threads, opt, [&] {
+    run_bench("ct_mult_relin", label, kernel, threads, opt, [&] {
       Ciphertext a = f.eval.multiply(f.ct, f.ct2);
       f.eval.relinearize_inplace(a, f.rk);
     });
+  }
+}
+
+void run_suite(const Options& opt) {
+  HeFixture test2048(HeProfile::kTest2048);
+  HeFixture light4096(HeProfile::kLight4096);
+  HeFixture prod8192(HeProfile::kProd8192);
+
+  for (const std::size_t t : opt.threads) {
+    set_num_threads(t);
+    if (!opt.json_only) std::printf("--- threads = %zu ---\n", t);
+    bench_ntt(t, opt);
+    bench_he(test2048, "test2048", t, opt, /*with_ct_mult=*/true);
+    bench_he(light4096, "light4096", t, opt, /*with_ct_mult=*/false);
+    bench_he(prod8192, "prod8192", t, opt, /*with_ct_mult=*/true);
   }
 }
 
@@ -156,18 +209,21 @@ void bench_he(HeFixture& f, const char* label, std::size_t threads,
 int main(int argc, char** argv) {
   const Options opt = parse_args(argc, argv);
 
-  HeFixture test2048(HeProfile::kTest2048);
-  HeFixture light4096(HeProfile::kLight4096);
-  HeFixture prod8192(HeProfile::kProd8192);
-
-  std::printf("hardware threads: %zu\n", hardware_threads());
-  for (const std::size_t t : opt.threads) {
-    set_num_threads(t);
-    std::printf("--- threads = %zu ---\n", t);
-    bench_ntt(t, opt);
-    bench_he(test2048, "test2048", t, opt, /*with_ct_mult=*/true);
-    bench_he(light4096, "light4096", t, opt, /*with_ct_mult=*/false);
-    bench_he(prod8192, "prod8192", t, opt, /*with_ct_mult=*/true);
+  if (!opt.json_only) {
+    std::printf("hardware threads: %zu\n", hardware_threads());
+  }
+  if (opt.kernels.empty()) {
+    run_suite(opt);
+    return 0;
+  }
+  for (const std::string& kernel : opt.kernels) {
+    // The override is read at Ntt/HeContext construction, so each sweep
+    // iteration rebuilds its fixtures under the requested kernel.
+    ::setenv("PRIMER_NTT_KERNEL", kernel.c_str(), 1);
+    if (!opt.json_only) {
+      std::printf("=== kernel = %s ===\n", kernel.c_str());
+    }
+    run_suite(opt);
   }
   return 0;
 }

@@ -104,10 +104,15 @@ class Rng {
     return acc;
   }
 
-  // Fills `out` with uniform residues modulo `modulus`.
+  // Fills `out[0, n)` with uniform residues modulo `modulus`.
+  void fill_uniform_mod(std::uint64_t* out, std::size_t n,
+                        std::uint64_t modulus) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = uniform(modulus);
+  }
+
   void fill_uniform_mod(std::vector<std::uint64_t>& out,
                         std::uint64_t modulus) {
-    for (auto& v : out) v = uniform(modulus);
+    fill_uniform_mod(out.data(), out.size(), modulus);
   }
 
  private:

@@ -49,17 +49,23 @@ HeContext::HeContext(HeParams params) : params_(std::move(params)) {
 
 void HeContext::to_ntt(RnsPoly& p) const {
   if (p.ntt_form) return;
+  if (p.degree() != degree() || p.rns_size() > rns_size()) {
+    throw std::invalid_argument("HeContext::to_ntt: shape");
+  }
   // RNS limbs are independent transforms over distinct primes.  Cost hint:
   // ~n log n butterflies of a couple of ops each per limb.
   parallel_for(0, p.rns_size(), degree() * 32,
-               [&](std::size_t i) { ntts_[i]->forward(p.comp[i]); });
+               [&](std::size_t i) { ntts_[i]->forward(p.limb(i)); });
   p.ntt_form = true;
 }
 
 void HeContext::to_coeff(RnsPoly& p) const {
   if (!p.ntt_form) return;
+  if (p.degree() != degree() || p.rns_size() > rns_size()) {
+    throw std::invalid_argument("HeContext::to_coeff: shape");
+  }
   parallel_for(0, p.rns_size(), degree() * 32,
-               [&](std::size_t i) { ntts_[i]->inverse(p.comp[i]); });
+               [&](std::size_t i) { ntts_[i]->inverse(p.limb(i)); });
   p.ntt_form = false;
 }
 
@@ -68,10 +74,7 @@ void HeContext::add_inplace(RnsPoly& a, const RnsPoly& b) const {
     throw std::invalid_argument("HeContext::add_inplace: shape/domain");
   }
   parallel_for(0, a.rns_size(), degree(), [&](std::size_t i) {
-    const u64 p = params_.q[i];
-    auto& av = a.comp[i];
-    const auto& bv = b.comp[i];
-    for (std::size_t j = 0; j < av.size(); ++j) av[j] = add_mod(av[j], bv[j], p);
+    kernels(i).add(a.limb(i), a.limb(i), b.limb(i), degree(), params_.q[i]);
   });
 }
 
@@ -80,17 +83,13 @@ void HeContext::sub_inplace(RnsPoly& a, const RnsPoly& b) const {
     throw std::invalid_argument("HeContext::sub_inplace: shape/domain");
   }
   parallel_for(0, a.rns_size(), degree(), [&](std::size_t i) {
-    const u64 p = params_.q[i];
-    auto& av = a.comp[i];
-    const auto& bv = b.comp[i];
-    for (std::size_t j = 0; j < av.size(); ++j) av[j] = sub_mod(av[j], bv[j], p);
+    kernels(i).sub(a.limb(i), a.limb(i), b.limb(i), degree(), params_.q[i]);
   });
 }
 
 void HeContext::negate_inplace(RnsPoly& a) const {
   for (std::size_t i = 0; i < a.rns_size(); ++i) {
-    const u64 p = params_.q[i];
-    for (auto& v : a.comp[i]) v = neg_mod(v, p);
+    kernels(i).neg(a.limb(i), a.limb(i), degree(), params_.q[i]);
   }
 }
 
@@ -104,13 +103,24 @@ void HeContext::multiply_inplace(RnsPoly& a, const RnsPoly& b) const {
   if (!a.ntt_form || !b.ntt_form) {
     throw std::invalid_argument("HeContext::multiply: operands must be NTT");
   }
-  // Barrett reduce128 is a 128-bit modulo — roughly an order of magnitude
-  // costlier per element than an add.
+  // Barrett products are several multiplies per element — an order of
+  // magnitude costlier than an add.
   parallel_for(0, a.rns_size(), degree() * 16, [&](std::size_t i) {
-    const Barrett& br = barretts_[i];
-    auto& av = a.comp[i];
-    const auto& bv = b.comp[i];
-    for (std::size_t j = 0; j < av.size(); ++j) av[j] = br.mul(av[j], bv[j]);
+    ntts_[i]->pointwise(a.limb(i), b.limb(i), a.limb(i));
+  });
+}
+
+void HeContext::multiply_accumulate(RnsPoly& acc, const RnsPoly& a,
+                                    const RnsPoly& b) const {
+  if (!acc.ntt_form || !a.ntt_form || !b.ntt_form) {
+    throw std::invalid_argument(
+        "HeContext::multiply_accumulate: operands must be NTT");
+  }
+  if (!acc.same_shape(a) || !acc.same_shape(b)) {
+    throw std::invalid_argument("HeContext::multiply_accumulate: shape");
+  }
+  parallel_for(0, acc.rns_size(), degree() * 16, [&](std::size_t i) {
+    ntts_[i]->pointwise_accumulate(a.limb(i), b.limb(i), acc.limb(i));
   });
 }
 
@@ -118,14 +128,15 @@ void HeContext::scalar_multiply_inplace(RnsPoly& a, u64 scalar) const {
   for (std::size_t i = 0; i < a.rns_size(); ++i) {
     const u64 p = params_.q[i];
     const ShoupMul s(scalar % p, p);
-    for (auto& v : a.comp[i]) v = s.mul(v, p);
+    kernels(i).scalar_mul(a.limb(i), a.limb(i), degree(), s.operand,
+                          s.quotient, p);
   }
 }
 
 RnsPoly HeContext::sample_uniform(Rng& rng) const {
   RnsPoly out(rns_size(), degree(), false);
   for (std::size_t i = 0; i < rns_size(); ++i) {
-    rng.fill_uniform_mod(out.comp[i], params_.q[i]);
+    rng.fill_uniform_mod(out.limb(i), degree(), params_.q[i]);
   }
   return out;
 }
@@ -149,11 +160,11 @@ RnsPoly HeContext::lift_signed(const std::vector<i64>& v) const {
   RnsPoly out(rns_size(), degree(), false);
   for (std::size_t i = 0; i < rns_size(); ++i) {
     const u64 p = params_.q[i];
+    u64* limb = out.limb(i);
     for (std::size_t j = 0; j < v.size(); ++j) {
       const i64 x = v[j];
-      out.comp[i][j] =
-          x >= 0 ? static_cast<u64>(x) % p
-                 : p - (static_cast<u64>(-x) % p);
+      limb[j] = x >= 0 ? static_cast<u64>(x) % p
+                       : p - (static_cast<u64>(-x) % p);
     }
   }
   return out;
@@ -166,8 +177,9 @@ RnsPoly HeContext::lift_plaintext(const Plaintext& pt) const {
   RnsPoly out(rns_size(), degree(), false);
   for (std::size_t i = 0; i < rns_size(); ++i) {
     const u64 p = params_.q[i];
+    u64* limb = out.limb(i);
     for (std::size_t j = 0; j < pt.coeffs.size(); ++j) {
-      out.comp[i][j] = pt.coeffs[j] % p;  // coeffs < t << q_i
+      limb[j] = pt.coeffs[j] % p;  // coeffs < t << q_i
     }
   }
   return out;
@@ -217,16 +229,16 @@ void HeContext::apply_galois_coeff(const RnsPoly& in, u64 elt,
   const std::size_t n = degree();
   out = RnsPoly(in.rns_size(), n, false);
   for (std::size_t i = 0; i < in.rns_size(); ++i) {
-    apply_galois_plain(in.comp[i], elt, out.comp[i], params_.q[i]);
+    apply_galois_plain(in.limb(i), elt, out.limb(i), params_.q[i]);
   }
 }
 
-void HeContext::apply_galois_plain(const std::vector<u64>& in, u64 elt,
-                                   std::vector<u64>& out, u64 modulus) const {
+void HeContext::apply_galois_plain(const u64* in, u64 elt, u64* out,
+                                   u64 modulus) const {
   const std::size_t n = degree();
-  out.assign(n, 0);
   // x^j -> x^{j*elt mod 2n}; if the exponent lands in [n, 2n), negate
-  // (since x^n = -1).
+  // (since x^n = -1).  Every output index is written exactly once (the map
+  // is a permutation), so no pre-zeroing is needed.
   for (std::size_t j = 0; j < n; ++j) {
     const u64 idx = (static_cast<u64>(j) * elt) % (2 * n);
     const u64 v = in[j];
@@ -236,6 +248,12 @@ void HeContext::apply_galois_plain(const std::vector<u64>& in, u64 elt,
       out[idx - n] = neg_mod(v, modulus);
     }
   }
+}
+
+void HeContext::apply_galois_plain(const std::vector<u64>& in, u64 elt,
+                                   std::vector<u64>& out, u64 modulus) const {
+  out.resize(degree());
+  apply_galois_plain(in.data(), elt, out.data(), modulus);
 }
 
 u64 HeContext::galois_elt_from_step(int step) const {

@@ -29,6 +29,10 @@ class HeContext {
   const Ntt& ntt(std::size_t i) const { return *ntts_[i]; }
   const Ntt& plain_ntt() const { return *plain_ntt_; }
   const Barrett& barrett(std::size_t i) const { return barretts_[i]; }
+  // The kernel set limb arithmetic modulo q_i dispatches to (shared with
+  // the per-prime Ntt; "scalar" or "avx2").
+  const NttKernel& kernels(std::size_t i) const { return ntts_[i]->kernel(); }
+  const char* kernel_name() const { return ntts_[0]->kernel_name(); }
 
   // --- domain conversion -------------------------------------------------
   void to_ntt(RnsPoly& p) const;
@@ -41,6 +45,10 @@ class HeContext {
   // Pointwise product; both operands must be in NTT form.
   RnsPoly multiply(const RnsPoly& a, const RnsPoly& b) const;
   void multiply_inplace(RnsPoly& a, const RnsPoly& b) const;
+  // Fused acc += a * b (all NTT form) — one pass over the limbs, no
+  // temporary polynomial.
+  void multiply_accumulate(RnsPoly& acc, const RnsPoly& a,
+                           const RnsPoly& b) const;
   // Multiply by a scalar (same scalar reduced per prime).
   void scalar_multiply_inplace(RnsPoly& a, u64 scalar) const;
 
@@ -66,6 +74,8 @@ class HeContext {
   // --- Galois automorphisms -----------------------------------------------
   // x -> x^elt on a coefficient-form polynomial (elt odd, mod 2n).
   void apply_galois_coeff(const RnsPoly& in, u64 elt, RnsPoly& out) const;
+  // Span variant over length-degree() buffers; in and out must not alias.
+  void apply_galois_plain(const u64* in, u64 elt, u64* out, u64 modulus) const;
   void apply_galois_plain(const std::vector<u64>& in, u64 elt,
                           std::vector<u64>& out, u64 modulus) const;
   // Galois element implementing a rotation by `step` on the batched rows

@@ -49,10 +49,12 @@ KSwitchKey KeyGenerator::make_kswitch_key(const RnsPoly& target_ntt) {
     RnsPoly b = ctx_.multiply(a, sk_.s);
     ctx_.add_inplace(b, e);
     ctx_.negate_inplace(b);
-    // Component i gains target.comp[i].
+    // Component i gains target's limb i.
     const u64 qi = ctx_.q(i);
+    u64* bl = b.limb(i);
+    const u64* tl = target_ntt.limb(i);
     for (std::size_t j = 0; j < ctx_.degree(); ++j) {
-      b.comp[i][j] = add_mod(b.comp[i][j], target_ntt.comp[i][j], qi);
+      bl[j] = add_mod(bl[j], tl[j], qi);
     }
     key.a.push_back(std::move(a));
     key.b.push_back(std::move(b));
@@ -184,7 +186,7 @@ Plaintext Decryptor::decrypt(const Ciphertext& ct) const {
   parallel_for_chunks(0, n, [&](std::size_t lo, std::size_t hi) {
     std::vector<u64> residues(k);
     for (std::size_t j = lo; j < hi; ++j) {
-      for (std::size_t i = 0; i < k; ++i) residues[i] = acc.comp[i][j];
+      for (std::size_t i = 0; i < k; ++i) residues[i] = acc.limb(i)[j];
       pt.coeffs[j] = ctx_.compose_center_mod_t(residues);
     }
   });
@@ -203,7 +205,7 @@ double Decryptor::noise_budget(const Ciphertext& ct) const {
   std::vector<u64> residues(k);
   for (std::size_t j = 0; j < n; ++j) {
     for (std::size_t i = 0; i < k; ++i) {
-      residues[i] = sub_mod(acc.comp[i][j], m.comp[i][j], ctx_.q(i));
+      residues[i] = sub_mod(acc.limb(i)[j], m.limb(i)[j], ctx_.q(i));
     }
     max_log = std::max(max_log, ctx_.compose_center_log2(residues));
   }
@@ -267,6 +269,27 @@ void Evaluator::multiply_plain_inplace(Ciphertext& a,
                   std::log2(static_cast<double>(ctx_.t()));
 }
 
+void Evaluator::multiply_plain_accumulate(Ciphertext& acc, const Ciphertext& a,
+                                          const Plaintext& pt) const {
+  // acc += a * pt, fused: the limb product streams straight into acc with
+  // no temporary ciphertext copy and no second add pass — the inner loop of
+  // the packed matmul's Horner chains.
+  ++counters_.plain_mults;
+  ++counters_.adds;
+  RnsPoly m = ctx_.lift_plaintext(pt);
+  ctx_.to_ntt(m);
+  while (acc.parts.size() < a.parts.size()) {
+    acc.parts.emplace_back(ctx_.rns_size(), ctx_.degree(), true);
+  }
+  for (std::size_t i = 0; i < a.parts.size(); ++i) {
+    ctx_.multiply_accumulate(acc.parts[i], a.parts[i], m);
+  }
+  const double term_noise = a.noise_log2 +
+                            std::log2(static_cast<double>(ctx_.degree())) +
+                            std::log2(static_cast<double>(ctx_.t()));
+  acc.noise_log2 = std::max(acc.noise_log2, term_noise) + 1.0;
+}
+
 Ciphertext Evaluator::multiply(const Ciphertext& a, const Ciphertext& b) const {
   ++counters_.ct_mults;
   if (a.size() != 2 || b.size() != 2) {
@@ -299,10 +322,12 @@ void Evaluator::key_switch(const RnsPoly& c_coeff, const KSwitchKey& key,
   parallel_for(0, k, [&](std::size_t i) {
     // RNS digit i: the residue vector mod q_i, re-reduced modulo every q_j.
     RnsPoly digit(k, n, false);
+    const u64* src = c_coeff.limb(i);
     for (std::size_t j = 0; j < k; ++j) {
       const Barrett& br = ctx_.barrett(j);
+      u64* dst = digit.limb(j);
       for (std::size_t c = 0; c < n; ++c) {
-        digit.comp[j][c] = br.reduce(c_coeff.comp[i][c]);
+        dst[c] = br.reduce(src[c]);
       }
     }
     ctx_.to_ntt(digit);
@@ -377,7 +402,9 @@ void Evaluator::serialize(const Ciphertext& ct, ByteWriter& w) const {
   for (const auto& part : ct.parts) {
     w.u8(part.ntt_form ? 1 : 0);
     w.u32(static_cast<std::uint32_t>(part.rns_size()));
-    for (const auto& comp : part.comp) w.vec_u64(comp);
+    w.u64(part.degree());
+    // Limbs are one contiguous buffer — a single memcpy-sized append.
+    w.bytes(part.data(), part.word_count() * sizeof(u64));
   }
   w.f64(ct.noise_log2);
 }
@@ -386,11 +413,18 @@ Ciphertext Evaluator::deserialize(ByteReader& r) const {
   Ciphertext ct;
   const auto parts = r.u32();
   for (std::uint32_t p = 0; p < parts; ++p) {
-    RnsPoly poly;
-    poly.ntt_form = r.u8() != 0;
+    const bool ntt_form = r.u8() != 0;
     const auto k = r.u32();
-    poly.comp.resize(k);
-    for (std::uint32_t i = 0; i < k; ++i) poly.comp[i] = r.vec_u64();
+    const auto n = r.u64();
+    // Exact-shape check: downstream kernels stream ctx-degree words through
+    // unchecked pointers, so an undersized polynomial from a hostile or
+    // corrupted stream must be rejected here, not discovered as an
+    // out-of-bounds write later.
+    if (k != ctx_.rns_size() || n != ctx_.degree()) {
+      throw std::out_of_range("deserialize: polynomial shape mismatch");
+    }
+    RnsPoly poly(k, static_cast<std::size_t>(n), ntt_form);
+    r.bytes(poly.data(), poly.word_count() * sizeof(u64));
     ct.parts.push_back(std::move(poly));
   }
   ct.noise_log2 = r.f64();

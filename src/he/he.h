@@ -135,6 +135,12 @@ class Evaluator {
   // Ciphertext x plaintext multiplication (SIMD slot-wise).
   void multiply_plain_inplace(Ciphertext& a, const Plaintext& pt) const;
 
+  // acc += a * pt, fused through the kernel layer's pointwise-accumulate —
+  // no temporary ciphertext, one pass over the limbs.  Counts one plain
+  // mult and one add.
+  void multiply_plain_accumulate(Ciphertext& acc, const Ciphertext& a,
+                                 const Plaintext& pt) const;
+
   // Ciphertext x ciphertext multiplication; result has 3 parts until
   // relinearize() is called.
   Ciphertext multiply(const Ciphertext& a, const Ciphertext& b) const;

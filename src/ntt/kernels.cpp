@@ -1,0 +1,61 @@
+// Kernel dispatch: compile-time availability (kernels_avx2.cpp), runtime
+// cpuid, the p < 2^61 modulus bound, and the PRIMER_NTT_KERNEL override.
+#include "ntt/kernels.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace primer {
+
+namespace {
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+void warn_once(bool& flag, const char* msg) {
+  if (!flag) {
+    flag = true;
+    std::fprintf(stderr, "primer: %s\n", msg);
+  }
+}
+
+// The AVX2 lazy butterflies need 4p < 2^64 and the vector Barrett product
+// needs 5p of headroom; p < 2^61 covers both with margin.
+constexpr u64 kAvx2ModulusBound = u64{1} << 61;
+
+}  // namespace
+
+bool avx2_available() {
+  static const bool ok = avx2_kernel() != nullptr && cpu_has_avx2();
+  return ok;
+}
+
+const NttKernel& dispatch_kernel(u64 p) {
+  static bool warned_unavailable = false;
+  static bool warned_unknown = false;
+  const bool avx2_ok = avx2_available() && p < kAvx2ModulusBound;
+  const char* env = std::getenv("PRIMER_NTT_KERNEL");
+  if (env != nullptr && *env != '\0') {
+    if (std::strcmp(env, "scalar") == 0) return scalar_kernel();
+    if (std::strcmp(env, "avx2") == 0) {
+      if (avx2_ok) return *avx2_kernel();
+      warn_once(warned_unavailable,
+                "PRIMER_NTT_KERNEL=avx2 requested but unavailable "
+                "(not compiled in, no CPU support, or modulus >= 2^61); "
+                "falling back to scalar kernels");
+      return scalar_kernel();
+    }
+    warn_once(warned_unknown,
+              "PRIMER_NTT_KERNEL: unknown value (expected scalar|avx2); "
+              "using automatic dispatch");
+  }
+  return avx2_ok ? *avx2_kernel() : scalar_kernel();
+}
+
+}  // namespace primer

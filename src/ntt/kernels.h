@@ -1,0 +1,145 @@
+// Vectorized NTT / limb-op kernel layer with runtime dispatch.
+//
+// A kernel set is a table of function pointers implementing the negacyclic
+// NTT butterflies and the elementwise RNS limb operations on raw u64 spans.
+// Two implementations exist: a portable scalar one and an AVX2 one
+// (kernels_avx2.cpp, compiled with -mavx2 when the toolchain supports it).
+// Both use HEXL-style lazy reduction internally — butterfly values live in
+// the redundant range [0, 4p) (forward) / [0, 2p) (inverse) and a single
+// correction sweep at the end brings them back to [0, p) — so every kernel
+// FULLY REDUCES its outputs and the scalar and AVX2 paths are bit-identical
+// (enforced by tests/test_ntt_kernels.cpp).  The protocol therefore stays
+// deterministic across machines regardless of which kernel dispatch picks.
+//
+// Dispatch: dispatch_kernel(p) returns the AVX2 set when (a) the binary was
+// built with AVX2 support, (b) the CPU reports it, and (c) p < 2^61 (the
+// lazy/Barrett bounds need headroom above 4p); otherwise the scalar set.
+// The PRIMER_NTT_KERNEL environment variable (values: "scalar", "avx2")
+// overrides the choice for testing; an unavailable request falls back to
+// scalar with a one-time warning.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+
+#include "ntt/modarith.h"
+
+namespace primer {
+
+// 64-byte-aligned heap buffer of u64 with value semantics — the backing
+// store for RnsPoly limbs and NTT twiddle tables, sized so kernels stream
+// cache-line-aligned memory.  Intentionally minimal: exact-size, no spare
+// capacity, no iterator surface.
+class AlignedU64 {
+ public:
+  static constexpr std::size_t kAlign = 64;
+
+  AlignedU64() = default;
+  explicit AlignedU64(std::size_t n, u64 fill = 0) { assign(n, fill); }
+
+  AlignedU64(const AlignedU64& o) { copy_from(o); }
+  AlignedU64& operator=(const AlignedU64& o) {
+    if (this != &o) copy_from(o);
+    return *this;
+  }
+  AlignedU64(AlignedU64&& o) noexcept : buf_(o.buf_), size_(o.size_) {
+    o.buf_ = nullptr;
+    o.size_ = 0;
+  }
+  AlignedU64& operator=(AlignedU64&& o) noexcept {
+    if (this != &o) {
+      release();
+      buf_ = o.buf_;
+      size_ = o.size_;
+      o.buf_ = nullptr;
+      o.size_ = 0;
+    }
+    return *this;
+  }
+  ~AlignedU64() { release(); }
+
+  void assign(std::size_t n, u64 fill) {
+    reallocate(n);
+    for (std::size_t i = 0; i < size_; ++i) buf_[i] = fill;
+  }
+
+  u64* data() { return buf_; }
+  const u64* data() const { return buf_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  u64& operator[](std::size_t i) { return buf_[i]; }
+  const u64& operator[](std::size_t i) const { return buf_[i]; }
+
+ private:
+  void reallocate(std::size_t n) {
+    release();
+    if (n != 0) {
+      buf_ = static_cast<u64*>(
+          ::operator new[](n * sizeof(u64), std::align_val_t{kAlign}));
+    }
+    size_ = n;
+  }
+  void copy_from(const AlignedU64& o) {
+    reallocate(o.size_);
+    if (size_ != 0) std::memcpy(buf_, o.buf_, size_ * sizeof(u64));
+  }
+  void release() {
+    if (buf_ != nullptr) {
+      ::operator delete[](buf_, std::align_val_t{kAlign});
+      buf_ = nullptr;
+    }
+  }
+
+  u64* buf_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+// One kernel set.  All spans are length n unless noted; `out` may alias `a`
+// (in-place) for the elementwise ops.  Twiddle tables (w, w_shoup) are the
+// Shoup operand/quotient pairs in bit-reversed order, as built by Ntt.
+struct NttKernel {
+  const char* name;
+
+  // In-place forward negacyclic NTT (Cooley–Tukey DIT, merged psi powers).
+  // Input in [0, p), output fully reduced in [0, p).
+  void (*fwd_ntt)(u64* a, std::size_t n, const u64* w, const u64* w_shoup,
+                  u64 p);
+  // In-place inverse transform (Gentleman–Sande), including the 1/n scaling.
+  void (*inv_ntt)(u64* a, std::size_t n, const u64* w, const u64* w_shoup,
+                  u64 n_inv, u64 n_inv_shoup, u64 p);
+
+  // out[i] = a[i] + b[i] mod p
+  void (*add)(u64* out, const u64* a, const u64* b, std::size_t n, u64 p);
+  // out[i] = a[i] - b[i] mod p
+  void (*sub)(u64* out, const u64* a, const u64* b, std::size_t n, u64 p);
+  // out[i] = -a[i] mod p
+  void (*neg)(u64* out, const u64* a, std::size_t n, u64 p);
+  // out[i] = a[i] * b[i] mod p via Barrett (ratio = floor(2^128/p) words).
+  void (*mul)(u64* out, const u64* a, const u64* b, std::size_t n, u64 p,
+              u64 ratio_hi, u64 ratio_lo);
+  // out[i] = (out[i] + a[i] * b[i]) mod p — the packed-matmul inner loop.
+  void (*mul_acc)(u64* out, const u64* a, const u64* b, std::size_t n, u64 p,
+                  u64 ratio_hi, u64 ratio_lo);
+  // out[i] = w * a[i] mod p with Shoup precomputation.
+  void (*scalar_mul)(u64* out, const u64* a, std::size_t n, u64 w,
+                     u64 w_shoup, u64 p);
+};
+
+// The portable reference kernels (always available).
+const NttKernel& scalar_kernel();
+
+// The AVX2 kernels, or nullptr when compiled without AVX2 support.  Runtime
+// CPU support is NOT checked here — use dispatch_kernel().
+const NttKernel* avx2_kernel();
+
+// True when the AVX2 kernels are compiled in and the CPU supports AVX2.
+bool avx2_available();
+
+// Kernel set for arithmetic modulo p, honoring PRIMER_NTT_KERNEL.  The env
+// variable is re-read on every call so tests can toggle it between Ntt
+// constructions; the result is stable for the lifetime of the objects that
+// cache it.
+const NttKernel& dispatch_kernel(u64 p);
+
+}  // namespace primer

@@ -52,6 +52,32 @@ inline u64 inv_mod(u64 a, u64 m) {
   return static_cast<u64>(t);
 }
 
+// True 128-bit Barrett reduction: a mod m using the precomputed two-word
+// ratio (r_hi, r_lo) = floor(2^128 / m).  Writing a = a1*2^64 + a0 and
+// expanding a * ratio / 2^128 term by term gives a 64-bit quotient estimate
+// q that undershoots the exact floor(a/m) by at most 3 (one unit per dropped
+// fractional term), so the remainder lands in [0, 4m) and a short correction
+// loop finishes.  Requires 4m < 2^64, i.e. m < 2^62 — the library-wide
+// modulus bound.  No division instruction is ever executed.
+inline u64 barrett_reduce128(u128 a, u64 m, u64 r_hi, u64 r_lo) {
+  const u64 a0 = static_cast<u64>(a);
+  const u64 a1 = static_cast<u64>(a >> 64);
+  const u128 p01 = static_cast<u128>(a0) * r_hi;
+  const u128 p10 = static_cast<u128>(a1) * r_lo;
+  const u128 p11 = static_cast<u128>(a1) * r_hi;
+  // Middle column: carries from the three partial products that straddle
+  // the 2^64 boundary.  Fits u128 comfortably (three sub-2^64 terms).
+  const u128 mid = ((static_cast<u128>(a0) * r_lo) >> 64) +
+                   static_cast<u64>(p01) + static_cast<u64>(p10);
+  const u64 q = static_cast<u64>(p11) + static_cast<u64>(p01 >> 64) +
+                static_cast<u64>(p10 >> 64) + static_cast<u64>(mid >> 64);
+  // Only the low 64 bits of q*m matter: the true remainder is < 4m < 2^64,
+  // so the wrap-around subtraction is exact.
+  u64 r = a0 - q * m;
+  while (r >= m) r -= m;
+  return r;
+}
+
 // Barrett reducer: floor-division-free reduction modulo a fixed m < 2^62.
 class Barrett {
  public:
@@ -65,6 +91,8 @@ class Barrett {
   }
 
   u64 modulus() const { return m_; }
+  u64 ratio_hi() const { return ratio_hi_; }
+  u64 ratio_lo() const { return ratio_lo_; }
 
   // Returns a mod m for a < 2^64.
   u64 reduce(u64 a) const {
@@ -77,7 +105,9 @@ class Barrett {
   }
 
   // Full 128-bit reduction (for products of two residues).
-  u64 reduce128(u128 a) const { return static_cast<u64>(a % m_); }
+  u64 reduce128(u128 a) const {
+    return barrett_reduce128(a, m_, ratio_hi_, ratio_lo_);
+  }
 
   u64 mul(u64 a, u64 b) const {
     return reduce128(static_cast<u128>(a) * b);
@@ -86,7 +116,7 @@ class Barrett {
  private:
   u64 m_ = 0;
   u64 ratio_hi_ = 0;
-  u64 ratio_lo_ = 0;
+  u64 ratio_lo_ = 0;  // low ratio word — consumed by barrett_reduce128
 };
 
 // Shoup precomputed-quotient multiplication: for a fixed operand w modulo m,

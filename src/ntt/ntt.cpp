@@ -26,7 +26,12 @@ std::size_t bit_reverse(std::size_t v, int bits) {
 
 }  // namespace
 
-Ntt::Ntt(std::size_t n, u64 p) : n_(n), log_n_(ilog2(n)), p_(p) {
+Ntt::Ntt(std::size_t n, u64 p)
+    : n_(n),
+      log_n_(ilog2(n)),
+      p_(p),
+      barrett_(p),
+      kernel_(&dispatch_kernel(p)) {
   if (n == 0 || (n & (n - 1)) != 0) {
     throw std::invalid_argument("Ntt: degree must be a power of two");
   }
@@ -36,60 +41,35 @@ Ntt::Ntt(std::size_t n, u64 p) : n_(n), log_n_(ilog2(n)), p_(p) {
   const u64 psi = find_primitive_root(p, 2 * n);
   const u64 psi_inv = inv_mod(psi, p);
 
-  fwd_twiddles_.resize(n);
-  inv_twiddles_.resize(n);
+  fwd_w_.assign(n, 0);
+  fwd_wq_.assign(n, 0);
+  inv_w_.assign(n, 0);
+  inv_wq_.assign(n, 0);
   u64 power = 1, power_inv = 1;
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t rev = bit_reverse(i, log_n_);
-    fwd_twiddles_[rev] = ShoupMul(power, p);
-    inv_twiddles_[rev] = ShoupMul(power_inv, p);
+    const ShoupMul f(power, p);
+    const ShoupMul g(power_inv, p);
+    fwd_w_[rev] = f.operand;
+    fwd_wq_[rev] = f.quotient;
+    inv_w_[rev] = g.operand;
+    inv_wq_[rev] = g.quotient;
     power = mul_mod(power, psi, p);
     power_inv = mul_mod(power_inv, psi_inv, p);
   }
-  n_inv_ = ShoupMul(inv_mod(static_cast<u64>(n), p), p);
+  const ShoupMul ninv(inv_mod(static_cast<u64>(n), p), p);
+  n_inv_ = ninv.operand;
+  n_inv_shoup_ = ninv.quotient;
 }
 
 void Ntt::forward(std::vector<u64>& a) const {
   if (a.size() != n_) throw std::invalid_argument("Ntt::forward: size");
-  // Cooley–Tukey DIT with merged psi powers (Longa–Naehrig layout).
-  std::size_t t = n_;
-  for (std::size_t m = 1; m < n_; m <<= 1) {
-    t >>= 1;
-    for (std::size_t i = 0; i < m; ++i) {
-      const std::size_t j1 = 2 * i * t;
-      const std::size_t j2 = j1 + t;
-      const ShoupMul& s = fwd_twiddles_[m + i];
-      for (std::size_t j = j1; j < j2; ++j) {
-        const u64 u = a[j];
-        const u64 v = s.mul(a[j + t], p_);
-        a[j] = add_mod(u, v, p_);
-        a[j + t] = sub_mod(u, v, p_);
-      }
-    }
-  }
+  forward(a.data());
 }
 
 void Ntt::inverse(std::vector<u64>& a) const {
   if (a.size() != n_) throw std::invalid_argument("Ntt::inverse: size");
-  // Gentleman–Sande DIF using inverse twiddles.
-  std::size_t t = 1;
-  for (std::size_t m = n_; m > 1; m >>= 1) {
-    std::size_t j1 = 0;
-    const std::size_t h = m >> 1;
-    for (std::size_t i = 0; i < h; ++i) {
-      const std::size_t j2 = j1 + t;
-      const ShoupMul& s = inv_twiddles_[h + i];
-      for (std::size_t j = j1; j < j2; ++j) {
-        const u64 u = a[j];
-        const u64 v = a[j + t];
-        a[j] = add_mod(u, v, p_);
-        a[j + t] = s.mul(sub_mod(u, v, p_), p_);
-      }
-      j1 += 2 * t;
-    }
-    t <<= 1;
-  }
-  for (auto& x : a) x = n_inv_.mul(x, p_);
+  inverse(a.data());
 }
 
 void Ntt::forward_batch(std::vector<std::vector<u64>>& polys) const {
@@ -106,8 +86,7 @@ void Ntt::pointwise(const std::vector<u64>& a, const std::vector<u64>& b,
     throw std::invalid_argument("Ntt::pointwise: size");
   }
   out.resize(n_);
-  const Barrett barrett(p_);
-  for (std::size_t i = 0; i < n_; ++i) out[i] = barrett.mul(a[i], b[i]);
+  pointwise(a.data(), b.data(), out.data());
 }
 
 std::vector<u64> Ntt::negacyclic_multiply(std::vector<u64> a,

@@ -7,11 +7,19 @@
 // polynomial product the BFV ring needs.  Implementation follows the
 // standard Cooley–Tukey (decimation in time, bit-reversed twiddles) /
 // Gentleman–Sande (inverse) pair with Shoup lazy multiplication.
+//
+// The butterfly loops themselves live in the kernel layer (ntt/kernels.h):
+// each Ntt binds to a kernel set at construction (scalar or AVX2, chosen by
+// runtime dispatch / PRIMER_NTT_KERNEL) and stores its twiddles as separate
+// operand/quotient arrays in 64-byte-aligned memory so the vector kernels
+// stream contiguous cache lines.  All kernels fully reduce their outputs, so
+// results are bit-identical across kernel choices.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "ntt/kernels.h"
 #include "ntt/modarith.h"
 
 namespace primer {
@@ -23,11 +31,24 @@ class Ntt {
 
   std::size_t degree() const { return n_; }
   u64 modulus() const { return p_; }
+  // Name of the kernel set this transform dispatches to ("scalar", "avx2").
+  const char* kernel_name() const { return kernel_->name; }
 
-  // In-place forward negacyclic NTT (coefficient -> evaluation domain).
-  void forward(std::vector<u64>& a) const;
+  // In-place forward negacyclic NTT (coefficient -> evaluation domain) over
+  // a length-n span.  This is the hot-path entry: no allocation, no size
+  // check, memory streamed directly by the kernel.
+  void forward(u64* a) const {
+    kernel_->fwd_ntt(a, n_, fwd_w_.data(), fwd_wq_.data(), p_);
+  }
 
   // In-place inverse transform (evaluation -> coefficient domain).
+  void inverse(u64* a) const {
+    kernel_->inv_ntt(a, n_, inv_w_.data(), inv_wq_.data(), n_inv_,
+                     n_inv_shoup_, p_);
+  }
+
+  // Checked vector overloads (encoder, tests, schoolbook comparisons).
+  void forward(std::vector<u64>& a) const;
   void inverse(std::vector<u64>& a) const;
 
   // Batched transforms over independent polynomials, parallelized across
@@ -37,7 +58,19 @@ class Ntt {
   void forward_batch(std::vector<std::vector<u64>>& polys) const;
   void inverse_batch(std::vector<std::vector<u64>>& polys) const;
 
-  // out[i] = a[i] * b[i] mod p.
+  // out[i] = a[i] * b[i] mod p over length-n spans (Barrett constants are
+  // precomputed members — nothing is rebuilt per call).
+  void pointwise(const u64* a, const u64* b, u64* out) const {
+    kernel_->mul(out, a, b, n_, p_, barrett_.ratio_hi(), barrett_.ratio_lo());
+  }
+  // out[i] = (out[i] + a[i] * b[i]) mod p — fused accumulate for the
+  // packed-matmul inner loop.
+  void pointwise_accumulate(const u64* a, const u64* b, u64* out) const {
+    kernel_->mul_acc(out, a, b, n_, p_, barrett_.ratio_hi(),
+                     barrett_.ratio_lo());
+  }
+
+  // Checked vector overload.
   void pointwise(const std::vector<u64>& a, const std::vector<u64>& b,
                  std::vector<u64>& out) const;
 
@@ -45,13 +78,20 @@ class Ntt {
   std::vector<u64> negacyclic_multiply(std::vector<u64> a,
                                        std::vector<u64> b) const;
 
+  // The kernel set bound to this transform (elementwise limb ops share it).
+  const NttKernel& kernel() const { return *kernel_; }
+  const Barrett& barrett() const { return barrett_; }
+
  private:
   std::size_t n_;
   int log_n_;
   u64 p_;
-  std::vector<ShoupMul> fwd_twiddles_;  // psi powers, bit-reversed order
-  std::vector<ShoupMul> inv_twiddles_;  // psi^-1 powers, bit-reversed order
-  ShoupMul n_inv_;
+  Barrett barrett_;
+  const NttKernel* kernel_;
+  // Shoup operand/quotient twiddle tables, bit-reversed order, aligned.
+  AlignedU64 fwd_w_, fwd_wq_;   // psi powers
+  AlignedU64 inv_w_, inv_wq_;   // psi^-1 powers
+  u64 n_inv_ = 0, n_inv_shoup_ = 0;
 };
 
 }  // namespace primer

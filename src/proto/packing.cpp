@@ -187,15 +187,18 @@ std::vector<Ciphertext> PackedMatmul::multiply(
           ++oc_stats[oc].rotations;
         }
         if (!all_zero(mask)) {
-          Ciphertext term = packed[ci];
           const auto pre = rotate_right_plain(
               mask, (k * static_cast<std::size_t>(step)) % row, row);
-          eval_.multiply_plain_inplace(term, encoder_.encode(pre));
-          ++oc_stats[oc].plain_mults;
+          const Plaintext mask_pt = encoder_.encode(pre);
           if (acc_set) {
-            eval_.add_inplace(acc, term);
+            // Fused acc += ct * pt: no ciphertext copy, one limb pass.
+            eval_.multiply_plain_accumulate(acc, packed[ci], mask_pt);
+            ++oc_stats[oc].plain_mults;
             ++oc_stats[oc].adds;
           } else {
+            Ciphertext term = packed[ci];
+            eval_.multiply_plain_inplace(term, mask_pt);
+            ++oc_stats[oc].plain_mults;
             acc = std::move(term);
             acc_set = true;
           }

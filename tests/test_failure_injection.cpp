@@ -39,7 +39,7 @@ TEST(FailureInjection, TamperedCiphertextChangesPlaintext) {
   const std::vector<u64> v(16, 42);
   auto ct = enc.encrypt(encoder.encode(v));
   // Flip one RNS residue.
-  ct.parts[0].comp[0][7] ^= 1;
+  ct.parts[0].limb(0)[7] ^= 1;
   const auto out = encoder.decode(dec.decrypt(ct));
   EXPECT_NE(out, std::vector<u64>(encoder.slot_count(), 0) /*placeholder*/);
   int diffs = 0;

@@ -1,0 +1,322 @@
+// Kernel-layer tests: randomized scalar-vs-AVX2 bit-equality across the
+// primes.cpp moduli sweep and degrees 2^10..2^13, the 128-bit Barrett
+// reduction, the PRIMER_NTT_KERNEL dispatch override, and the RnsPoly
+// flat-layout / serialization round-trip.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "he/encoder.h"
+#include "he/he.h"
+#include "ntt/kernels.h"
+#include "ntt/ntt.h"
+#include "ntt/primes.h"
+
+namespace primer {
+namespace {
+
+// RAII environment-variable override (restores the prior value on exit).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+std::vector<u64> random_poly(Rng& rng, std::size_t n, u64 p) {
+  std::vector<u64> v(n);
+  rng.fill_uniform_mod(v, p);
+  return v;
+}
+
+bool fully_reduced(const std::vector<u64>& v, u64 p) {
+  for (u64 x : v) {
+    if (x >= p) return false;
+  }
+  return true;
+}
+
+// The moduli sweep: one prime per bit size that primes.cpp can produce for
+// the degree, matching the library's parameter profiles (40/45/50-bit) plus
+// the extremes of the supported range.
+std::vector<u64> moduli_sweep(std::size_t n) {
+  std::vector<u64> out;
+  for (int bits : {30, 40, 45, 50, 60}) {
+    out.push_back(generate_ntt_primes(bits, n, 1)[0]);
+  }
+  return out;
+}
+
+TEST(Kernels, ScalarAvx2NttBitEquality) {
+  if (!avx2_available()) GTEST_SKIP() << "AVX2 kernels unavailable";
+  const NttKernel& sc = scalar_kernel();
+  const NttKernel& vx = *avx2_kernel();
+  Rng rng(7);
+  for (std::size_t n : {std::size_t{1024}, std::size_t{2048},
+                        std::size_t{4096}, std::size_t{8192}}) {
+    for (u64 p : moduli_sweep(n)) {
+      // Build twiddles once via an Ntt (tables are kernel-independent).
+      ScopedEnv env("PRIMER_NTT_KERNEL", "scalar");
+      const Ntt ntt(n, p);
+      ASSERT_STREQ(ntt.kernel_name(), "scalar");
+
+      const auto original = random_poly(rng, n, p);
+      std::vector<u64> a = original, b = original;
+      ntt.forward(a.data());  // scalar (bound at construction)
+      // Drive the AVX2 kernel directly over the same twiddle tables by
+      // round-tripping: forward with scalar must equal forward with avx2.
+      {
+        ScopedEnv env2("PRIMER_NTT_KERNEL", "avx2");
+        const Ntt ntt_vx(n, p);
+        ASSERT_STREQ(ntt_vx.kernel_name(), "avx2");
+        ntt_vx.forward(b.data());
+        EXPECT_EQ(a, b) << "forward mismatch n=" << n << " p=" << p;
+        EXPECT_TRUE(fully_reduced(b, p));
+        ntt_vx.inverse(b.data());
+        EXPECT_EQ(b, original) << "avx2 round trip n=" << n << " p=" << p;
+      }
+      ntt.inverse(a.data());
+      EXPECT_EQ(a, original) << "scalar round trip n=" << n << " p=" << p;
+      (void)sc;
+      (void)vx;
+    }
+  }
+}
+
+TEST(Kernels, ScalarAvx2ElementwiseBitEquality) {
+  if (!avx2_available()) GTEST_SKIP() << "AVX2 kernels unavailable";
+  const NttKernel& sc = scalar_kernel();
+  const NttKernel& vx = *avx2_kernel();
+  Rng rng(11);
+  const std::size_t n = 1027;  // odd length exercises the vector tails
+  for (u64 p : moduli_sweep(1024)) {
+    const Barrett br(p);
+    auto a = random_poly(rng, n, p);
+    auto b = random_poly(rng, n, p);
+    // Edge values at both ends.
+    a[0] = 0;
+    b[0] = 0;
+    a[1] = p - 1;
+    b[1] = p - 1;
+    a[2] = 0;
+    b[2] = p - 1;
+
+    std::vector<u64> out_sc(n), out_vx(n);
+    sc.add(out_sc.data(), a.data(), b.data(), n, p);
+    vx.add(out_vx.data(), a.data(), b.data(), n, p);
+    EXPECT_EQ(out_sc, out_vx) << "add p=" << p;
+
+    sc.sub(out_sc.data(), a.data(), b.data(), n, p);
+    vx.sub(out_vx.data(), a.data(), b.data(), n, p);
+    EXPECT_EQ(out_sc, out_vx) << "sub p=" << p;
+
+    sc.neg(out_sc.data(), a.data(), n, p);
+    vx.neg(out_vx.data(), a.data(), n, p);
+    EXPECT_EQ(out_sc, out_vx) << "neg p=" << p;
+
+    sc.mul(out_sc.data(), a.data(), b.data(), n, p, br.ratio_hi(),
+           br.ratio_lo());
+    vx.mul(out_vx.data(), a.data(), b.data(), n, p, br.ratio_hi(),
+           br.ratio_lo());
+    EXPECT_EQ(out_sc, out_vx) << "mul p=" << p;
+    EXPECT_TRUE(fully_reduced(out_vx, p));
+    for (std::size_t i = 0; i < 64; ++i) {
+      EXPECT_EQ(out_vx[i], mul_mod(a[i], b[i], p)) << "mul vs naive i=" << i;
+    }
+
+    auto acc_sc = random_poly(rng, n, p);
+    auto acc_vx = acc_sc;
+    sc.mul_acc(acc_sc.data(), a.data(), b.data(), n, p, br.ratio_hi(),
+               br.ratio_lo());
+    vx.mul_acc(acc_vx.data(), a.data(), b.data(), n, p, br.ratio_hi(),
+               br.ratio_lo());
+    EXPECT_EQ(acc_sc, acc_vx) << "mul_acc p=" << p;
+
+    const u64 w = rng.uniform(p);
+    const ShoupMul s(w, p);
+    sc.scalar_mul(out_sc.data(), a.data(), n, s.operand, s.quotient, p);
+    vx.scalar_mul(out_vx.data(), a.data(), n, s.operand, s.quotient, p);
+    EXPECT_EQ(out_sc, out_vx) << "scalar_mul p=" << p;
+    for (std::size_t i = 0; i < 64; ++i) {
+      EXPECT_EQ(out_vx[i], mul_mod(w, a[i], p));
+    }
+  }
+}
+
+TEST(Kernels, NegacyclicMultiplyAgreesAcrossKernels) {
+  if (!avx2_available()) GTEST_SKIP() << "AVX2 kernels unavailable";
+  Rng rng(13);
+  const std::size_t n = 1024;
+  const u64 p = generate_ntt_primes(45, n, 1)[0];
+  const auto a = random_poly(rng, n, p);
+  const auto b = random_poly(rng, n, p);
+  ScopedEnv env("PRIMER_NTT_KERNEL", "scalar");
+  const Ntt ntt_sc(n, p);
+  std::vector<u64> want = ntt_sc.negacyclic_multiply(a, b);
+  {
+    ScopedEnv env2("PRIMER_NTT_KERNEL", "avx2");
+    const Ntt ntt_vx(n, p);
+    EXPECT_EQ(ntt_vx.negacyclic_multiply(a, b), want);
+  }
+}
+
+TEST(Kernels, PointwiseAccumulateMatchesMulThenAdd) {
+  Rng rng(17);
+  const std::size_t n = 2048;
+  const u64 p = generate_ntt_primes(50, n, 1)[0];
+  const Ntt ntt(n, p);
+  const auto a = random_poly(rng, n, p);
+  const auto b = random_poly(rng, n, p);
+  auto acc = random_poly(rng, n, p);
+  auto want = acc;
+  std::vector<u64> prod;
+  ntt.pointwise(a, b, prod);
+  for (std::size_t i = 0; i < n; ++i) want[i] = add_mod(want[i], prod[i], p);
+  ntt.pointwise_accumulate(a.data(), b.data(), acc.data());
+  EXPECT_EQ(acc, want);
+}
+
+TEST(Kernels, BarrettReduce128MatchesNaive) {
+  Rng rng(19);
+  for (u64 m : {u64{65537}, u64{1000003}, (u64{1} << 50) - 27,
+                generate_ntt_primes(62, 1024, 1)[0]}) {
+    const Barrett br(m);
+    for (int i = 0; i < 2000; ++i) {
+      const u128 a = (static_cast<u128>(rng.next()) << 64) | rng.next();
+      EXPECT_EQ(br.reduce128(a), static_cast<u64>(a % m));
+    }
+    // Largest product of residues, and the extremes.
+    const u128 max_prod = static_cast<u128>(m - 1) * (m - 1);
+    EXPECT_EQ(br.reduce128(max_prod), static_cast<u64>(max_prod % m));
+    EXPECT_EQ(br.reduce128(0), 0u);
+    EXPECT_EQ(br.reduce128(~static_cast<u128>(0)),
+              static_cast<u64>(~static_cast<u128>(0) % m));
+  }
+}
+
+TEST(Kernels, DispatchHonorsEnvOverrideAndModulusBound) {
+  const std::size_t n = 1024;
+  const u64 p = generate_ntt_primes(45, n, 1)[0];
+  {
+    ScopedEnv env("PRIMER_NTT_KERNEL", "scalar");
+    EXPECT_STREQ(Ntt(n, p).kernel_name(), "scalar");
+  }
+  {
+    ScopedEnv env("PRIMER_NTT_KERNEL", "avx2");
+    EXPECT_STREQ(Ntt(n, p).kernel_name(),
+                 avx2_available() ? "avx2" : "scalar");
+  }
+  {
+    ScopedEnv env("PRIMER_NTT_KERNEL", nullptr);  // automatic dispatch
+    EXPECT_STREQ(Ntt(n, p).kernel_name(),
+                 avx2_available() ? "avx2" : "scalar");
+  }
+  // Moduli at or above 2^61 must never take the vector path (the lazy
+  // ranges would overflow): a 62-bit prime lies in [2^61, 2^62).
+  const u64 big = generate_ntt_primes(62, n, 1)[0];
+  ASSERT_GE(big, u64{1} << 61);
+  EXPECT_STREQ(Ntt(n, big).kernel_name(), "scalar");
+}
+
+TEST(RnsPolyFlat, LimbAccessorsViewOneContiguousBuffer) {
+  const std::size_t k = 3, n = 256;
+  RnsPoly poly(k, n, false);
+  EXPECT_EQ(poly.rns_size(), k);
+  EXPECT_EQ(poly.degree(), n);
+  EXPECT_EQ(poly.word_count(), k * n);
+  for (std::size_t i = 0; i < k; ++i) {
+    EXPECT_EQ(poly.limb(i), poly.data() + i * n);
+    EXPECT_EQ(poly.limb_span(i).size(), n);
+    for (std::size_t j = 0; j < n; ++j) poly.limb(i)[j] = i * n + j;
+  }
+  // Limb-major flat order.
+  for (std::size_t w = 0; w < k * n; ++w) EXPECT_EQ(poly.data()[w], w);
+  // Value semantics: deep copy, independent buffers.
+  RnsPoly copy = poly;
+  copy.limb(1)[5] ^= 1;
+  EXPECT_NE(copy.limb(1)[5], poly.limb(1)[5]);
+}
+
+TEST(RnsPolyFlat, SerializationRoundTripsBitExactly) {
+  HeContext ctx(make_params(HeProfile::kTest2048));
+  Rng rng(23);
+  KeyGenerator keygen(ctx, rng);
+  const BatchEncoder encoder(ctx);
+  const Encryptor enc(ctx, keygen.secret_key(), rng);
+  const Decryptor dec(ctx, keygen.secret_key());
+  const Evaluator eval(ctx);
+
+  std::vector<u64> vals(encoder.slot_count());
+  rng.fill_uniform_mod(vals, ctx.t());
+  const Ciphertext ct = enc.encrypt(encoder.encode(vals));
+
+  ByteWriter w;
+  eval.serialize(ct, w);
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  const Ciphertext back = eval.deserialize(r);
+  EXPECT_TRUE(r.done());
+
+  ASSERT_EQ(back.parts.size(), ct.parts.size());
+  for (std::size_t i = 0; i < ct.parts.size(); ++i) {
+    EXPECT_EQ(back.parts[i].ntt_form, ct.parts[i].ntt_form);
+    ASSERT_TRUE(back.parts[i].same_shape(ct.parts[i]));
+    EXPECT_EQ(std::memcmp(back.parts[i].data(), ct.parts[i].data(),
+                          ct.parts[i].word_count() * sizeof(u64)),
+              0);
+  }
+  EXPECT_EQ(back.noise_log2, ct.noise_log2);
+  EXPECT_EQ(encoder.decode(dec.decrypt(back)), vals);
+}
+
+TEST(RnsPolyFlat, DeserializeRejectsShapeMismatch) {
+  HeContext ctx(make_params(HeProfile::kTest2048));
+  const Evaluator eval(ctx);
+  const auto attempt = [&](std::uint32_t k, u64 n) {
+    ByteWriter w;
+    w.u32(1);  // one part
+    w.u8(0);   // coeff form
+    w.u32(k);
+    w.u64(n);
+    // No limb payload: the shape check must fire before any read.
+    const auto bytes = w.take();
+    ByteReader r(bytes);
+    return eval.deserialize(r);
+  };
+  // Oversized and undersized shapes are both hostile: downstream kernels
+  // stream exactly ctx.degree() words per limb through unchecked pointers.
+  EXPECT_THROW((void)attempt(1000, ctx.degree()), std::out_of_range);
+  EXPECT_THROW((void)attempt(1, 64), std::out_of_range);
+  EXPECT_THROW(
+      (void)attempt(static_cast<std::uint32_t>(ctx.rns_size()), 64),
+      std::out_of_range);
+}
+
+}  // namespace
+}  // namespace primer
