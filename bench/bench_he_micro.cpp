@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/fixed_point.h"
 #include "common/parallel.h"
 #include "common/timing.h"
 #include "he/encoder.h"
@@ -28,6 +29,8 @@
 #include "ntt/kernels.h"
 #include "ntt/ntt.h"
 #include "ntt/primes.h"
+#include "proto/packing.h"
+#include "ss/secret_share.h"
 
 using namespace primer;
 
@@ -158,6 +161,197 @@ void bench_ntt(std::size_t threads, const Options& opt) {
   }
 }
 
+// Every entry of the dispatch table on n=4096 spans, so the --kernel sweep
+// benchmarks scalar/AVX2 parity for the FULL kernel surface — the limb ops
+// and the key-switch kernels (reduce_span / mul_acc_lazy / reduce_acc_span)
+// — not just the NTT butterflies.
+void bench_kernel_table(std::size_t threads, const Options& opt) {
+  const std::size_t n = 4096;
+  const u64 p = generate_ntt_primes(50, n, 1)[0];
+  const NttKernel& kern = dispatch_kernel(p);
+  const Barrett br(p);
+  Rng rng(5);
+  std::vector<u64> a(n), b(n), out(n), lo(n), hi(n);
+  rng.fill_uniform_mod(a, p);
+  rng.fill_uniform_mod(b, p);
+  // Arbitrary 64-bit inputs for the re-reduction kernel.
+  std::vector<u64> wide(n);
+  for (auto& v : wide) {
+    v = (rng.uniform(u64{1} << 32) << 32) | rng.uniform(u64{1} << 32);
+  }
+  const char* label = "n=4096";
+  run_bench("kernel_add", label, kern.name, threads, opt,
+            [&] { kern.add(out.data(), a.data(), b.data(), n, p); });
+  run_bench("kernel_sub", label, kern.name, threads, opt,
+            [&] { kern.sub(out.data(), a.data(), b.data(), n, p); });
+  run_bench("kernel_neg", label, kern.name, threads, opt,
+            [&] { kern.neg(out.data(), a.data(), n, p); });
+  run_bench("kernel_mul", label, kern.name, threads, opt, [&] {
+    kern.mul(out.data(), a.data(), b.data(), n, p, br.ratio_hi(),
+             br.ratio_lo());
+  });
+  run_bench("kernel_mul_acc", label, kern.name, threads, opt, [&] {
+    kern.mul_acc(out.data(), a.data(), b.data(), n, p, br.ratio_hi(),
+                 br.ratio_lo());
+  });
+  const ShoupMul sm(a[0], p);
+  run_bench("kernel_scalar_mul", label, kern.name, threads, opt, [&] {
+    kern.scalar_mul(out.data(), a.data(), n, sm.operand, sm.quotient, p);
+  });
+  run_bench("kernel_reduce_span", label, kern.name, threads, opt, [&] {
+    kern.reduce_span(out.data(), wide.data(), n, p, br.ratio_hi());
+  });
+  run_bench("kernel_mul_acc_lazy", label, kern.name, threads, opt, [&] {
+    std::memset(lo.data(), 0, n * sizeof(u64));
+    std::memset(hi.data(), 0, n * sizeof(u64));
+    for (int d = 0; d < 3; ++d) {
+      kern.mul_acc_lazy(lo.data(), hi.data(), a.data(), b.data(), n);
+    }
+  });
+  // Accumulator state for the closing sweep (3 products: within bound).
+  std::memset(lo.data(), 0, n * sizeof(u64));
+  std::memset(hi.data(), 0, n * sizeof(u64));
+  for (int d = 0; d < 3; ++d) {
+    kern.mul_acc_lazy(lo.data(), hi.data(), a.data(), b.data(), n);
+  }
+  run_bench("kernel_reduce_acc_span", label, kern.name, threads, opt, [&] {
+    kern.reduce_acc_span(out.data(), lo.data(), hi.data(), n, p,
+                         br.ratio_hi(), br.ratio_lo());
+  });
+  std::vector<u64> a_shoup(n), b_shoup(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a_shoup[i] = static_cast<u64>((static_cast<u128>(a[i]) << 64) / p);
+    b_shoup[i] = static_cast<u64>((static_cast<u128>(b[i]) << 64) / p);
+  }
+  std::vector<u64> lane(n, 0), lane2(n, 0);
+  run_bench("kernel_shoup_mul_acc_lazy2", label, kern.name, threads, opt,
+            [&] {
+              kern.shoup_mul_acc_lazy2(lane.data(), lane2.data(), out.data(),
+                                       b.data(), b_shoup.data(), a.data(),
+                                       a_shoup.data(), n, p);
+            });
+  run_bench("kernel_add_reduce2p", label, kern.name, threads, opt, [&] {
+    kern.add_reduce2p(out.data(), a.data(), lane.data(), n, p);
+  });
+}
+
+// Key-switching data path on the acceptance shape (n=4096, k=3 limbs):
+// the raw key_switch primitive, rotations, and the BSGS packed matmul the
+// protocols drive it through.
+HeParams keyswitch_params() {
+  HeParams p;
+  p.poly_degree = 4096;
+  p.q = generate_ntt_primes(50, p.poly_degree, 3);
+  p.t = first_ntt_prime_at_least(u64{1} << 38, p.poly_degree);
+  p.name = "ks-4096x3";
+  return p;
+}
+
+// The PR 3 key_switch data path, kept verbatim as the measured baseline the
+// fused implementation is compared against: per-coefficient Barrett
+// re-reduction, heap-allocated digit polynomials, and a full modular
+// reduction on every accumulate.  Like PR 3's relinearize, the entry point
+// is the ciphertext-resident NTT form, so the to_coeff conversion that
+// implementation required is part of its measured cost (the fused path
+// absorbs the same conversion internally).
+void seedref_key_switch(const HeContext& ctx, const RnsPoly& c_ntt,
+                        const KSwitchKey& key, RnsPoly& acc0, RnsPoly& acc1) {
+  const std::size_t k = ctx.rns_size();
+  const std::size_t n = ctx.degree();
+  RnsPoly c_coeff = c_ntt;
+  ctx.to_coeff(c_coeff);
+  std::vector<RnsPoly> digit_b(k), digit_a(k);
+  parallel_for(0, k, [&](std::size_t i) {
+    RnsPoly digit(k, n, false);
+    const u64* src = c_coeff.limb(i);
+    for (std::size_t j = 0; j < k; ++j) {
+      const Barrett& br = ctx.barrett(j);
+      u64* dst = digit.limb(j);
+      for (std::size_t c = 0; c < n; ++c) {
+        dst[c] = br.reduce(src[c]);
+      }
+    }
+    ctx.to_ntt(digit);
+    digit_b[i] = ctx.multiply(digit, key.b[i]);
+    ctx.multiply_inplace(digit, key.a[i]);
+    digit_a[i] = std::move(digit);
+  });
+  for (std::size_t i = 0; i < k; ++i) {
+    ctx.add_inplace(acc0, digit_b[i]);
+    ctx.add_inplace(acc1, digit_a[i]);
+  }
+}
+
+void bench_keyswitch(std::size_t threads, const Options& opt) {
+  const HeContext ctx(keyswitch_params());
+  Rng rng(3);
+  KeyGenerator keygen(ctx, rng);
+  const BatchEncoder encoder(ctx);
+  const Encryptor enc(ctx, keygen.secret_key(), rng);
+  const Evaluator eval(ctx);
+  const RelinKey rk = keygen.make_relin_key();
+  const char* kernel = ctx.kernel_name();
+  const std::size_t k = ctx.rns_size();
+  const std::size_t n = ctx.degree();
+
+  // Raw key_switch on an NTT-form polynomial — the ciphertext-resident
+  // shape relinearization and rotations feed it.
+  RnsPoly c(k, n, false);
+  for (std::size_t i = 0; i < k; ++i) {
+    rng.fill_uniform_mod(c.limb(i), n, ctx.q(i));
+  }
+  ctx.to_ntt(c);
+  RnsPoly acc0(k, n, true), acc1(k, n, true);
+  run_bench("key_switch", "n=4096 k=3", kernel, threads, opt,
+            [&] { eval.key_switch(c, rk.key, acc0, acc1); });
+  // The same digits through the PR 3 reference path.  The fused/seedref
+  // ops_per_s ratio is the key-switch speedup this layer claims.
+  run_bench("key_switch_seedref", "n=4096 k=3", kernel, threads, opt,
+            [&] { seedref_key_switch(ctx, c, rk.key, acc0, acc1); });
+
+  // Rotation set of 8 steps on a fresh ciphertext: the per-rotation naive
+  // path versus the hoisted set sharing one digit decomposition.
+  std::vector<int> steps;
+  for (int s = 1; s <= 8; ++s) steps.push_back(s);
+  const GaloisKeys gk = keygen.make_galois_keys(steps);
+  std::vector<u64> vals(encoder.slot_count());
+  rng.fill_uniform_mod(vals, ctx.t());
+  const Ciphertext ct = enc.encrypt(encoder.encode(vals));
+  run_bench("rotations8_naive", "n=4096 k=3", kernel, threads, opt, [&] {
+    for (const int s : steps) {
+      Ciphertext a = ct;
+      eval.rotate_rows_inplace(a, s, gk);
+    }
+  });
+  run_bench("rotations8_hoisted", "n=4096 k=3", kernel, threads, opt, [&] {
+    const auto rots = eval.rotate_rows_many(ct, steps, gk);
+    (void)rots;
+  });
+}
+
+void bench_packed_matmul(std::size_t threads, const Options& opt) {
+  const HeContext ctx(keyswitch_params());
+  Rng rng(4);
+  KeyGenerator keygen(ctx, rng);
+  const BatchEncoder encoder(ctx);
+  const Encryptor enc(ctx, keygen.secret_key(), rng);
+  const Evaluator eval(ctx);
+  const char* kernel = ctx.kernel_name();
+
+  const std::size_t tokens = 8, d_in = 64, d_out = 32;
+  PackedMatmul mm(ctx, encoder, eval, PackingStrategy::kTokensFirst);
+  const GaloisKeys gk =
+      keygen.make_galois_keys(mm.rotation_steps(tokens));
+  const ShareRing ring(ctx.t());
+  const MatI x = ring.random(rng, tokens, d_in);
+  const MatI w = random_fp_matrix(rng, d_in, d_out, -1.0, 1.0);
+  const auto packed = mm.encrypt_input(x, enc);
+  run_bench("packed_matmul", "tf 8x64x32", kernel, threads, opt, [&] {
+    const auto out = mm.multiply(packed, w, tokens, ctx.t(), gk, nullptr);
+    (void)out;
+  });
+}
+
 void bench_he(HeFixture& f, const char* label, std::size_t threads,
               const Options& opt, bool with_ct_mult) {
   const char* kernel = f.ctx.kernel_name();
@@ -194,10 +388,16 @@ void run_suite(const Options& opt) {
   HeFixture light4096(HeProfile::kLight4096);
   HeFixture prod8192(HeProfile::kProd8192);
 
+  // The kernel-table sweep calls the dispatch-table function pointers
+  // directly (no pooled work), so it runs once per suite, not per thread
+  // count.
+  bench_kernel_table(1, opt);
   for (const std::size_t t : opt.threads) {
     set_num_threads(t);
     if (!opt.json_only) std::printf("--- threads = %zu ---\n", t);
     bench_ntt(t, opt);
+    bench_keyswitch(t, opt);
+    bench_packed_matmul(t, opt);
     bench_he(test2048, "test2048", t, opt, /*with_ct_mult=*/true);
     bench_he(light4096, "light4096", t, opt, /*with_ct_mult=*/false);
     bench_he(prod8192, "prod8192", t, opt, /*with_ct_mult=*/true);

@@ -66,7 +66,13 @@ int main(int argc, char** argv) {
   Encryptor enc(ctx, keygen.secret_key(), rng);
   Decryptor dec(ctx, keygen.secret_key());
   Evaluator eval(ctx);
-  const auto gk = keygen.make_galois_keys({1, 8});
+  std::vector<int> gk_steps;
+  for (const auto strategy :
+       {PackingStrategy::kFeatureBased, PackingStrategy::kTokensFirst}) {
+    const PackedMatmul mm(ctx, encoder, eval, strategy);
+    for (const int s : mm.rotation_steps(8)) gk_steps.push_back(s);
+  }
+  const auto gk = keygen.make_galois_keys(gk_steps);
   const ShareRing ring(ctx.t());
 
   std::printf("%-16s %8s %10s %10s %10s %10s %9s\n", "strategy", "threads",

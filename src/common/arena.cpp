@@ -1,0 +1,10 @@
+#include "common/arena.h"
+
+namespace primer {
+
+PolyArena& PolyArena::local() {
+  thread_local PolyArena arena;
+  return arena;
+}
+
+}  // namespace primer

@@ -1,0 +1,116 @@
+// Thread-local scratch arena for polynomial-sized u64 buffers.
+//
+// The key-switch and packed-matmul hot paths need short-lived limb buffers —
+// digit decompositions, lazy 128-bit accumulators, Galois permutation
+// scratch — sized degree or rns_size^2 * degree words.  Allocating those per
+// operation costs a heap round-trip plus a page-touching fill on every
+// key-switch, and under the thread pool every worker hits the global
+// allocator at once.  PolyArena keeps a per-thread cache of 64-byte-aligned
+// buffers and recycles them: checkout() returns the smallest cached buffer
+// that fits (or allocates a fresh one), and the returned Scratch hands the
+// buffer back to the cache when it goes out of scope.
+//
+// Buffers come back DIRTY.  Callers must fully overwrite or zero() what they
+// read — that contract is what makes reuse free.  Results stay bit-identical
+// across thread counts and arena states because no hot path ever reads a
+// word it did not write.
+//
+// Thread safety: the arena is thread_local, so checkout/release never
+// synchronize.  A Scratch must be released on the thread that checked it
+// out; the usual pattern is a parallel_for body checking out from its own
+// worker's arena.  Pool workers are long-lived (common/parallel.h), so each
+// worker's cache persists across operations.
+#pragma once
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "ntt/kernels.h"
+
+namespace primer {
+
+class PolyArena {
+ public:
+  // RAII lease on an arena buffer of at least the requested word count.
+  class Scratch {
+   public:
+    Scratch() = default;
+    Scratch(PolyArena* arena, AlignedU64 buf, std::size_t words)
+        : arena_(arena), buf_(std::move(buf)), words_(words) {}
+    Scratch(const Scratch&) = delete;
+    Scratch& operator=(const Scratch&) = delete;
+    Scratch(Scratch&& o) noexcept
+        : arena_(o.arena_), buf_(std::move(o.buf_)), words_(o.words_) {
+      o.arena_ = nullptr;
+      o.words_ = 0;
+    }
+    Scratch& operator=(Scratch&& o) noexcept {
+      if (this != &o) {
+        release();
+        arena_ = o.arena_;
+        buf_ = std::move(o.buf_);
+        words_ = o.words_;
+        o.arena_ = nullptr;
+        o.words_ = 0;
+      }
+      return *this;
+    }
+    ~Scratch() { release(); }
+
+    u64* data() { return buf_.data(); }
+    const u64* data() const { return buf_.data(); }
+    std::size_t words() const { return words_; }
+    bool empty() const { return arena_ == nullptr; }
+
+    // Zeroes the leased words (accumulator init; leased buffers are dirty).
+    void zero() {
+      if (words_ != 0) std::memset(buf_.data(), 0, words_ * sizeof(u64));
+    }
+
+   private:
+    void release() {
+      if (arena_ != nullptr) {
+        arena_->put_back(std::move(buf_));
+        arena_ = nullptr;
+        words_ = 0;
+      }
+    }
+
+    PolyArena* arena_ = nullptr;
+    AlignedU64 buf_;
+    std::size_t words_ = 0;
+  };
+
+  // The calling thread's arena.
+  static PolyArena& local();
+
+  // Leases a buffer of >= words u64 (contents undefined).
+  Scratch checkout(std::size_t words) {
+    std::size_t best = free_.size();
+    for (std::size_t i = 0; i < free_.size(); ++i) {
+      if (free_[i].size() < words) continue;
+      if (best == free_.size() || free_[i].size() < free_[best].size()) {
+        best = i;
+      }
+    }
+    if (best == free_.size()) {
+      return Scratch(this, AlignedU64(words), words);
+    }
+    AlignedU64 buf = std::move(free_[best]);
+    free_[best] = std::move(free_.back());
+    free_.pop_back();
+    return Scratch(this, std::move(buf), words);
+  }
+
+  // Number of buffers currently cached (tests).
+  std::size_t cached() const { return free_.size(); }
+
+ private:
+  friend class Scratch;
+  void put_back(AlignedU64 buf) { free_.push_back(std::move(buf)); }
+
+  std::vector<AlignedU64> free_;
+};
+
+}  // namespace primer

@@ -1,5 +1,6 @@
 #include "he/context.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -254,6 +255,83 @@ void HeContext::apply_galois_plain(const std::vector<u64>& in, u64 elt,
                                    std::vector<u64>& out, u64 modulus) const {
   out.resize(degree());
   apply_galois_plain(in.data(), elt, out.data(), modulus);
+}
+
+const std::vector<std::uint32_t>& HeContext::galois_ntt_table(u64 elt) const {
+  std::lock_guard<std::mutex> lock(galois_ntt_mu_);
+  const auto it = galois_ntt_tables_.find(elt);
+  if (it != galois_ntt_tables_.end()) return it->second;
+
+  const std::size_t n = degree();
+  int log_n = 0;
+  while ((std::size_t{1} << log_n) < n) ++log_n;
+  const u64 m = 2 * n;
+  std::vector<std::uint32_t> table(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Slot i evaluates at psi^(2*brv(i)+1); the automorphed polynomial's
+    // value there is the input's value at psi^((2*brv(i)+1)*elt mod 2n),
+    // which lives in the slot bit-reversing that (odd) exponent.
+    const u64 point = (2 * bit_reverse(i, log_n) + 1) * elt % m;
+    table[i] = static_cast<std::uint32_t>(bit_reverse((point - 1) / 2, log_n));
+  }
+  return galois_ntt_tables_.emplace(elt, std::move(table)).first->second;
+}
+
+void HeContext::apply_galois_ntt(const RnsPoly& in, u64 elt,
+                                 RnsPoly& out) const {
+  if (!in.ntt_form) {
+    throw std::invalid_argument("apply_galois_ntt: NTT form only");
+  }
+  const std::size_t n = degree();
+  const auto& table = galois_ntt_table(elt);
+  out = RnsPoly(in.rns_size(), n, true);
+  for (std::size_t i = 0; i < in.rns_size(); ++i) {
+    const u64* src = in.limb(i);
+    u64* dst = out.limb(i);
+    for (std::size_t j = 0; j < n; ++j) dst[j] = src[table[j]];
+  }
+}
+
+std::vector<HeContext::GadgetDigit> HeContext::decomp_layout(
+    std::uint32_t decomp_bits) const {
+  std::vector<GadgetDigit> layout;
+  for (std::size_t i = 0; i < rns_size(); ++i) {
+    if (decomp_bits == 0) {
+      layout.push_back({static_cast<std::uint32_t>(i), 0});
+      continue;
+    }
+    std::uint32_t bits = 0;
+    while ((params_.q[i] >> bits) != 0) ++bits;
+    for (std::uint32_t shift = 0; shift < bits; shift += decomp_bits) {
+      layout.push_back({static_cast<std::uint32_t>(i), shift});
+    }
+  }
+  return layout;
+}
+
+std::uint32_t HeContext::galois_decomp_bits() const {
+  std::uint32_t max_bits = 0;
+  for (const u64 p : params_.q) {
+    std::uint32_t bits = 0;
+    while ((p >> bits) != 0) ++bits;
+    max_bits = std::max(max_bits, bits);
+  }
+  return (max_bits + 1) / 2;
+}
+
+double HeContext::kswitch_noise_log2(std::uint32_t decomp_bits) const {
+  double digit_bits = 0.0;
+  if (decomp_bits != 0) {
+    digit_bits = static_cast<double>(decomp_bits);
+  } else {
+    for (const u64 p : params_.q) {
+      digit_bits = std::max(digit_bits, std::log2(static_cast<double>(p)));
+    }
+  }
+  const double digits =
+      static_cast<double>(decomp_layout(decomp_bits).size());
+  return std::log2(digits) + std::log2(static_cast<double>(degree())) +
+         digit_bits + std::log2(static_cast<double>(params_.t)) + 2.0;
 }
 
 u64 HeContext::galois_elt_from_step(int step) const {

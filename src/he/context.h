@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/rng.h"
@@ -84,6 +85,34 @@ class HeContext {
   // Galois element for the row-swap (column rotation): 2n - 1.
   u64 galois_elt_row_swap() const { return 2 * degree() - 1; }
 
+  // x -> x^elt acting on NTT form.  The transform's slot i holds the
+  // evaluation at psi^(2*bitrev(i)+1); the automorphism permutes those
+  // evaluation points (no negation — x^n = -1 identities hold at the
+  // points), so on NTT-form limbs it is the pure permutation
+  // out[i] = in[table[i]].  Tables are cached per element; thread-safe.
+  const std::vector<std::uint32_t>& galois_ntt_table(u64 elt) const;
+  // Applies the permutation to every limb of an NTT-form polynomial.
+  void apply_galois_ntt(const RnsPoly& in, u64 elt, RnsPoly& out) const;
+
+  // --- key-switch gadget decomposition -------------------------------------
+  // One entry per gadget digit under base-2^w sub-digit decomposition:
+  // `limb` is the source RNS prime, `shift` the bit offset of the sub-digit
+  // within that residue (digit value = (residue >> shift) & (2^w - 1)).
+  // w == 0 returns one full-width digit per limb (shift 0), the CRT layout.
+  struct GadgetDigit {
+    std::uint32_t limb;
+    std::uint32_t shift;
+  };
+  std::vector<GadgetDigit> decomp_layout(std::uint32_t decomp_bits) const;
+  // Sub-digit width used for Galois keys: half the widest modulus, so the
+  // per-digit magnitude (and with it the rotation key-switch noise) drops
+  // from ~q_i to ~sqrt(q_i).  Rotations need that headroom because BSGS
+  // matmuls multiply plaintext masks into ALREADY-ROTATED ciphertexts.
+  std::uint32_t galois_decomp_bits() const;
+  // Additive key-switch noise estimate (log2) for keys of the given width:
+  // digits * n * digit_magnitude * t * eta.
+  double kswitch_noise_log2(std::uint32_t decomp_bits) const;
+
   // --- CRT composition constants (public for tests) -----------------------
   // q_hat_i = q / q_i as U256; inv_q_hat_i = (q/q_i)^{-1} mod q_i.
   const std::vector<U256>& q_hat() const { return q_hat_; }
@@ -101,6 +130,10 @@ class HeContext {
   U256 q_half_;
   std::vector<u64> q_mod_t_partial_;  // (q_hat_i mod t) for mod-t reduction
   u64 q_mod_t_ = 0;
+  // Lazily-built NTT-domain Galois permutation tables (std::map node
+  // stability keeps returned references valid across later insertions).
+  mutable std::mutex galois_ntt_mu_;
+  mutable std::map<u64, std::vector<std::uint32_t>> galois_ntt_tables_;
 };
 
 }  // namespace primer

@@ -1,6 +1,7 @@
 #include "he/he.h"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "common/parallel.h"
@@ -34,13 +35,15 @@ PublicKey KeyGenerator::make_public_key() {
   return pk;
 }
 
-KSwitchKey KeyGenerator::make_kswitch_key(const RnsPoly& target_ntt) {
-  // One digit per RNS prime: b_i = -(a_i*s + t*e_i) + P_i * target, where
-  // P_i is 1 mod q_i and 0 mod q_j — so the "+ P_i * target" term touches
-  // only RNS component i.
+KSwitchKey KeyGenerator::make_kswitch_key(const RnsPoly& target_ntt,
+                                          std::uint32_t decomp_bits) {
+  // One key pair per gadget digit (i, d):
+  //   b = -(a*s + t*e) + 2^{shift} * P_i * target
+  // where P_i is 1 mod q_i and 0 mod q_j — so the target term touches only
+  // RNS component i, scaled by the digit's base power.
   KSwitchKey key;
-  const std::size_t k = ctx_.rns_size();
-  for (std::size_t i = 0; i < k; ++i) {
+  key.decomp_bits = decomp_bits;
+  for (const auto& d : ctx_.decomp_layout(decomp_bits)) {
     RnsPoly a = ctx_.sample_uniform(rng_);
     ctx_.to_ntt(a);
     RnsPoly e = ctx_.sample_error(rng_);
@@ -49,23 +52,41 @@ KSwitchKey KeyGenerator::make_kswitch_key(const RnsPoly& target_ntt) {
     RnsPoly b = ctx_.multiply(a, sk_.s);
     ctx_.add_inplace(b, e);
     ctx_.negate_inplace(b);
-    // Component i gains target's limb i.
-    const u64 qi = ctx_.q(i);
-    u64* bl = b.limb(i);
-    const u64* tl = target_ntt.limb(i);
+    const u64 qi = ctx_.q(d.limb);
+    const u64 scale = d.shift == 0 ? 1 : (u64{1} << d.shift) % qi;
+    u64* bl = b.limb(d.limb);
+    const u64* tl = target_ntt.limb(d.limb);
     for (std::size_t j = 0; j < ctx_.degree(); ++j) {
-      bl[j] = add_mod(bl[j], tl[j], qi);
+      bl[j] = add_mod(bl[j], mul_mod(scale, tl[j], qi), qi);
     }
+    key.b_shoup.push_back(shoup_table(b));
+    key.a_shoup.push_back(shoup_table(a));
     key.a.push_back(std::move(a));
     key.b.push_back(std::move(b));
   }
   return key;
 }
 
+RnsPoly KeyGenerator::shoup_table(const RnsPoly& key_part) const {
+  RnsPoly out(key_part.rns_size(), key_part.degree(), key_part.ntt_form);
+  for (std::size_t j = 0; j < key_part.rns_size(); ++j) {
+    const u64 qj = ctx_.q(j);
+    const u64* src = key_part.limb(j);
+    u64* dst = out.limb(j);
+    for (std::size_t x = 0; x < key_part.degree(); ++x) {
+      dst[x] = static_cast<u64>((static_cast<u128>(src[x]) << 64) / qj);
+    }
+  }
+  return out;
+}
+
 RelinKey KeyGenerator::make_relin_key() {
   RelinKey rk;
   const RnsPoly s2 = ctx_.multiply(sk_.s, sk_.s);
-  rk.key = make_kswitch_key(s2);
+  // Full-width CRT digits: relinearization follows a ciphertext multiply
+  // whose noise already dwarfs the key-switch term, so the cheaper layout
+  // (k digits instead of ~2k) wins.
+  rk.key = make_kswitch_key(s2, 0);
   return rk;
 }
 
@@ -77,7 +98,10 @@ void KeyGenerator::add_galois_key(GaloisKeys& keys, u64 elt) {
   RnsPoly s_gal;
   ctx_.apply_galois_coeff(s_coeff, elt, s_gal);
   ctx_.to_ntt(s_gal);
-  keys.keys.emplace(elt, make_kswitch_key(s_gal));
+  // Sub-digit keys: rotated ciphertexts get multiplied by plaintext masks
+  // in the BSGS matmuls, so the rotation's additive key-switch noise must
+  // stay ~t*n below q — half-width digits buy that headroom.
+  keys.keys.emplace(elt, make_kswitch_key(s_gal, ctx_.galois_decomp_bits()));
 }
 
 GaloisKeys KeyGenerator::make_galois_keys(const std::vector<int>& steps,
@@ -308,37 +332,173 @@ Ciphertext Evaluator::multiply(const Ciphertext& a, const Ciphertext& b) const {
   return out;
 }
 
-void Evaluator::key_switch(const RnsPoly& c_coeff, const KSwitchKey& key,
-                           RnsPoly& acc0, RnsPoly& acc1) const {
-  if (c_coeff.ntt_form) {
-    throw std::invalid_argument("key_switch: input must be coefficient form");
+// ---------------------------------------------------------------------------
+// HoistedKeySwitch
+// ---------------------------------------------------------------------------
+
+HoistedKeySwitch::HoistedKeySwitch(const HeContext& ctx, const RnsPoly& c,
+                                   std::uint32_t decomp_bits)
+    : ctx_(ctx),
+      k_(ctx.rns_size()),
+      n_(ctx.degree()),
+      decomp_bits_(decomp_bits) {
+  if (c.rns_size() != k_ || c.degree() != n_) {
+    throw std::invalid_argument("HoistedKeySwitch: shape mismatch");
   }
-  const std::size_t k = ctx_.rns_size();
-  const std::size_t n = ctx_.degree();
-  // The k digit products are independent; compute them in parallel and
-  // accumulate serially in digit order.  Modular addition is exact, so the
-  // result is identical to the serial path either way.
-  std::vector<RnsPoly> digit_b(k), digit_a(k);
-  parallel_for(0, k, [&](std::size_t i) {
-    // RNS digit i: the residue vector mod q_i, re-reduced modulo every q_j.
-    RnsPoly digit(k, n, false);
-    const u64* src = c_coeff.limb(i);
-    for (std::size_t j = 0; j < k; ++j) {
-      const Barrett& br = ctx_.barrett(j);
-      u64* dst = digit.limb(j);
-      for (std::size_t c = 0; c < n; ++c) {
-        dst[c] = br.reduce(src[c]);
+  const auto layout = ctx_.decomp_layout(decomp_bits);
+  digit_count_ = layout.size();
+  digits_ = PolyArena::local().checkout(digit_count_ * k_ * n_);
+  // Coefficient-form source limbs: NTT-form input (every ciphertext
+  // polynomial in this library) pays one inverse pass; coefficient-form
+  // input is used directly.  inverse(forward(x)) == x exactly, so both
+  // entry forms produce bit-identical digits.
+  u64* base = digits_.data();
+  PolyArena::Scratch coeff;
+  const RnsPoly* coeff_src = &c;
+  if (c.ntt_form) {
+    coeff = PolyArena::local().checkout(k_ * n_);
+    u64* cbase = coeff.data();
+    parallel_for(0, k_, n_ * 32, [&](std::size_t i) {
+      std::memcpy(cbase + i * n_, c.limb(i), n_ * sizeof(u64));
+      ctx_.ntt(i).inverse(cbase + i * n_);
+    });
+    coeff_src = nullptr;
+  }
+  const u64* cbase = coeff_src == nullptr ? coeff.data() : nullptr;
+  auto limb_coeffs = [&](std::size_t i) {
+    return cbase != nullptr ? cbase + i * n_ : coeff_src->limb(i);
+  };
+  if (decomp_bits == 0) {
+    // CRT digits: digit(i, j) = (c mod q_i) mod q_j.  The diagonal is the
+    // residue itself — for NTT-form input its transform is limb i verbatim,
+    // so only the k*(k-1) off-diagonal limbs pay a forward NTT.  When
+    // q_i < 4*q_j (always, for same-width prime sets) the explicit
+    // re-reduction folds into that transform for free: the lazy forward
+    // butterflies accept any input below 4p (first-stage conditional
+    // subtract), and since the NTT is linear mod q_j its fully-reduced
+    // output on the raw residues is bit-identical to reducing first.
+    // reduce_span covers the general q_i >= 4*q_j case.
+    parallel_for(0, k_ * k_, n_ * 40, [&](std::size_t u) {
+      const std::size_t i = u / k_;
+      const std::size_t j = u % k_;
+      u64* dst = base + (i * k_ + j) * n_;
+      if (i == j && c.ntt_form) {
+        std::memcpy(dst, c.limb(i), n_ * sizeof(u64));
+        return;
       }
-    }
-    ctx_.to_ntt(digit);
-    digit_b[i] = ctx_.multiply(digit, key.b[i]);
-    ctx_.multiply_inplace(digit, key.a[i]);
-    digit_a[i] = std::move(digit);
-  });
-  for (std::size_t i = 0; i < k; ++i) {
-    ctx_.add_inplace(acc0, digit_b[i]);
-    ctx_.add_inplace(acc1, digit_a[i]);
+      const u64* src = limb_coeffs(i);
+      if (i == j ||
+          static_cast<u128>(ctx_.q(i)) < (static_cast<u128>(ctx_.q(j)) << 2)) {
+        std::memcpy(dst, src, n_ * sizeof(u64));
+      } else {
+        const Barrett& br = ctx_.barrett(j);
+        ctx_.kernels(j).reduce_span(dst, src, n_, br.modulus(), br.ratio_hi());
+      }
+      ctx_.ntt(j).forward(dst);
+    });
+  } else {
+    // Sub-digits: digit (i, shift) holds ((c mod q_i) >> shift) & mask —
+    // values < 2^w < every q_j, so the same extraction is a valid residue
+    // for all moduli and only the forward transforms remain.
+    const u64 mask = (u64{1} << decomp_bits) - 1;
+    parallel_for(0, layout.size() * k_, n_ * 40, [&](std::size_t u) {
+      const std::size_t f = u / k_;
+      const std::size_t j = u % k_;
+      const u64* src = limb_coeffs(layout[f].limb);
+      const std::uint32_t shift = layout[f].shift;
+      u64* dst = base + (f * k_ + j) * n_;
+      for (std::size_t x = 0; x < n_; ++x) {
+        dst[x] = (src[x] >> shift) & mask;
+      }
+      ctx_.ntt(j).forward(dst);
+    });
   }
+}
+
+void HoistedKeySwitch::apply(u64 elt, const KSwitchKey& key, RnsPoly& acc0,
+                             RnsPoly& acc1) const {
+  if (key.b.size() != digit_count_ || key.a.size() != digit_count_ ||
+      key.decomp_bits != decomp_bits_) {
+    throw std::invalid_argument(
+        "HoistedKeySwitch::apply: key decomposition mismatch");
+  }
+  const std::uint32_t* table =
+      elt == 1 ? nullptr : ctx_.galois_ntt_table(elt).data();
+  // Per limb j: accumulate the permuted-digit x key products lazily —
+  // Shoup-lazy when the key carries precomputed quotients (each product
+  // lands in [0, 2p) division-free and one conditional subtract keeps the
+  // running sum there), 128-bit lanes + one closing Barrett sweep
+  // otherwise.  Integer/modular addition commutes exactly, so results are
+  // independent of digit order and thread count.
+  const bool shoup = key.has_shoup();
+  parallel_for(0, k_, n_ * 16 * digit_count_, [&](std::size_t j) {
+    PolyArena& arena = PolyArena::local();
+    const NttKernel& kern = ctx_.kernels(j);
+    const Barrett& br = ctx_.barrett(j);
+    auto perm = table != nullptr ? arena.checkout(n_) : PolyArena::Scratch();
+    auto permute = [&](const u64* d) {
+      if (table == nullptr) return d;
+      u64* dst = perm.data();
+      for (std::size_t x = 0; x < n_; ++x) dst[x] = d[table[x]];
+      return static_cast<const u64*>(dst);
+    };
+    if (shoup) {
+      auto lane_b = arena.checkout(n_);
+      auto lane_a = arena.checkout(n_);
+      lane_b.zero();
+      lane_a.zero();
+      for (std::size_t f = 0; f < digit_count_; ++f) {
+        const u64* d = permute(digit(f, j));
+        kern.shoup_mul_acc_lazy2(lane_b.data(), lane_a.data(), d,
+                                 key.b[f].limb(j), key.b_shoup[f].limb(j),
+                                 key.a[f].limb(j), key.a_shoup[f].limb(j),
+                                 n_, br.modulus());
+      }
+      kern.add_reduce2p(acc0.limb(j), acc0.limb(j), lane_b.data(), n_,
+                        br.modulus());
+      kern.add_reduce2p(acc1.limb(j), acc1.limb(j), lane_a.data(), n_,
+                        br.modulus());
+      return;
+    }
+    // mul_acc_lazy accumulates one unreduced 128-bit product per digit per
+    // lane; the closing Barrett sweep needs the sum below q_j * 2^64.
+    // Every stored digit limb is fully reduced mod q_j (forward-NTT
+    // output), so digits * q_j < 2^64 is exact.  The Shoup path above has
+    // no such bound (its accumulators never leave [0, 2p)).
+    if (static_cast<u128>(digit_count_) * br.modulus() >=
+        (static_cast<u128>(1) << 64)) {
+      throw std::invalid_argument(
+          "HoistedKeySwitch::apply: digit count * modulus exceeds the "
+          "128-bit lazy accumulation bound; regenerate the key with Shoup "
+          "tables or fewer/narrower digits");
+    }
+    auto lo_b = arena.checkout(n_);
+    auto hi_b = arena.checkout(n_);
+    auto lo_a = arena.checkout(n_);
+    auto hi_a = arena.checkout(n_);
+    lo_b.zero();
+    hi_b.zero();
+    lo_a.zero();
+    hi_a.zero();
+    for (std::size_t f = 0; f < digit_count_; ++f) {
+      const u64* d = permute(digit(f, j));
+      kern.mul_acc_lazy(lo_b.data(), hi_b.data(), d, key.b[f].limb(j), n_);
+      kern.mul_acc_lazy(lo_a.data(), hi_a.data(), d, key.a[f].limb(j), n_);
+    }
+    auto tmp = arena.checkout(n_);
+    kern.reduce_acc_span(tmp.data(), lo_b.data(), hi_b.data(), n_,
+                         br.modulus(), br.ratio_hi(), br.ratio_lo());
+    kern.add(acc0.limb(j), acc0.limb(j), tmp.data(), n_, br.modulus());
+    kern.reduce_acc_span(tmp.data(), lo_a.data(), hi_a.data(), n_,
+                         br.modulus(), br.ratio_hi(), br.ratio_lo());
+    kern.add(acc1.limb(j), acc1.limb(j), tmp.data(), n_, br.modulus());
+  });
+}
+
+void Evaluator::key_switch(const RnsPoly& c, const KSwitchKey& key,
+                           RnsPoly& acc0, RnsPoly& acc1) const {
+  const HoistedKeySwitch hoist(ctx_, c, key.decomp_bits);
+  hoist.apply(1, key, acc0, acc1);
 }
 
 void Evaluator::relinearize_inplace(Ciphertext& a, const RelinKey& rk) const {
@@ -346,16 +506,23 @@ void Evaluator::relinearize_inplace(Ciphertext& a, const RelinKey& rk) const {
   if (a.size() != 3) {
     throw std::invalid_argument("relinearize: expected 3-part ciphertext");
   }
-  RnsPoly c2 = a.parts[2];
-  ctx_.to_coeff(c2);
-  key_switch(c2, rk.key, a.parts[0], a.parts[1]);
+  // c2 stays in NTT form: the key switch reuses its limbs as the digit
+  // diagonal and only inverse-transforms once for the off-diagonal digits.
+  key_switch(a.parts[2], rk.key, a.parts[0], a.parts[1]);
   a.parts.pop_back();
-  // Key-switch noise: ~ k * n * eta * max(q_i) * t ... dominated by digits.
-  a.noise_log2 = std::max(
-      a.noise_log2,
-      std::log2(static_cast<double>(ctx_.rns_size())) +
-          std::log2(static_cast<double>(ctx_.degree())) + 55.0);
+  a.noise_log2 =
+      std::max(a.noise_log2, ctx_.kswitch_noise_log2(rk.key.decomp_bits));
 }
+
+namespace {
+
+// Rotation noise bound shared by the single and hoisted paths.
+double rotation_noise_log2(const HeContext& ctx, const KSwitchKey& key,
+                           double in_noise) {
+  return std::max(in_noise, ctx.kswitch_noise_log2(key.decomp_bits));
+}
+
+}  // namespace
 
 void Evaluator::apply_galois_inplace(Ciphertext& a, u64 elt,
                                      const GaloisKeys& gk) const {
@@ -367,23 +534,145 @@ void Evaluator::apply_galois_inplace(Ciphertext& a, u64 elt,
   if (a.size() != 2) {
     throw std::invalid_argument("apply_galois: relinearize first");
   }
-  RnsPoly c0 = a.parts[0];
-  RnsPoly c1 = a.parts[1];
-  ctx_.to_coeff(c0);
-  ctx_.to_coeff(c1);
-  RnsPoly c0g, c1g;
-  ctx_.apply_galois_coeff(c0, elt, c0g);
-  ctx_.apply_galois_coeff(c1, elt, c1g);
-  ctx_.to_ntt(c0g);
-  RnsPoly acc0 = std::move(c0g);
+  // Hoisted data path even for a single rotation: c0 is permuted in NTT
+  // form (no transforms at all), and c1's digit decomposition feeds the
+  // lazy-accumulation key switch.  A rotation set built one step at a time
+  // is therefore bit-identical to rotate_rows_many over the same steps.
+  if (!a.parts[0].ntt_form) ctx_.to_ntt(a.parts[0]);
+  if (!a.parts[1].ntt_form) ctx_.to_ntt(a.parts[1]);
+  const KSwitchKey& key = gk.keys.at(elt);
+  const HoistedKeySwitch hoist(ctx_, a.parts[1], key.decomp_bits);
+  RnsPoly acc0;
+  ctx_.apply_galois_ntt(a.parts[0], elt, acc0);
   RnsPoly acc1(ctx_.rns_size(), ctx_.degree(), true);
-  key_switch(c1g, gk.keys.at(elt), acc0, acc1);
+  hoist.apply(elt, key, acc0, acc1);
   a.parts[0] = std::move(acc0);
   a.parts[1] = std::move(acc1);
-  a.noise_log2 = std::max(
-      a.noise_log2,
-      std::log2(static_cast<double>(ctx_.rns_size())) +
-          std::log2(static_cast<double>(ctx_.degree())) + 55.0);
+  a.noise_log2 = rotation_noise_log2(ctx_, key, a.noise_log2);
+}
+
+std::vector<Ciphertext> Evaluator::rotate_rows_many(
+    const Ciphertext& a, const std::vector<int>& steps,
+    const GaloisKeys& gk) const {
+  if (a.size() != 2) {
+    throw std::invalid_argument("rotate_rows_many: relinearize first");
+  }
+  const Ciphertext* src = &a;
+  Ciphertext ntt_copy;
+  if (!a.parts[0].ntt_form || !a.parts[1].ntt_form) {
+    ntt_copy = a;
+    ctx_.to_ntt(ntt_copy.parts[0]);
+    ctx_.to_ntt(ntt_copy.parts[1]);
+    src = &ntt_copy;
+  }
+  // Resolve elements and validate keys on the calling thread.  All keys in
+  // the set must share one gadget layout — the hoisted decomposition is
+  // built once for the whole set.
+  std::vector<u64> elts(steps.size());
+  std::uint32_t decomp_bits = 0;
+  bool any_rotation = false;
+  for (std::size_t s = 0; s < steps.size(); ++s) {
+    elts[s] = steps[s] == 0 ? 1 : ctx_.galois_elt_from_step(steps[s]);
+    if (elts[s] == 1) continue;
+    if (!gk.has(elts[s])) {
+      throw std::invalid_argument(
+          "rotate_rows_many: missing key for element " +
+          std::to_string(elts[s]));
+    }
+    const std::uint32_t w = gk.keys.at(elts[s]).decomp_bits;
+    if (any_rotation && w != decomp_bits) {
+      throw std::invalid_argument(
+          "rotate_rows_many: keys mix gadget decompositions");
+    }
+    decomp_bits = w;
+    any_rotation = true;
+  }
+  // One decomposition for the whole set.
+  const std::optional<HoistedKeySwitch> hoist =
+      any_rotation
+          ? std::make_optional<HoistedKeySwitch>(ctx_, src->parts[1],
+                                                 decomp_bits)
+          : std::nullopt;
+  std::vector<Ciphertext> out(steps.size());
+  parallel_for(0, steps.size(), [&](std::size_t s) {
+    if (elts[s] == 1) {
+      out[s] = *src;
+      return;
+    }
+    Ciphertext r;
+    RnsPoly acc0;
+    ctx_.apply_galois_ntt(src->parts[0], elts[s], acc0);
+    RnsPoly acc1(ctx_.rns_size(), ctx_.degree(), true);
+    const KSwitchKey& key = gk.keys.at(elts[s]);
+    hoist->apply(elts[s], key, acc0, acc1);
+    r.parts.push_back(std::move(acc0));
+    r.parts.push_back(std::move(acc1));
+    r.noise_log2 = rotation_noise_log2(ctx_, key, src->noise_log2);
+    out[s] = std::move(r);
+  });
+  std::uint64_t rotated = 0;
+  for (const u64 e : elts) rotated += e != 1 ? 1 : 0;
+  counters_.rotations += rotated;
+  counters_.hoisted_rotations += rotated;
+  return out;
+}
+
+namespace {
+
+// Single source of truth for the rotate-sum BSGS schedule: hoisted baby
+// steps 1..n1-1 (n1 ~ sqrt(width)) plus doubling giant strides n1, 2*n1,
+// ... < width.  rotate_sum_steps (key provisioning) and rotate_sum_inplace
+// (execution) both consume this, so key material can never desync from the
+// rotation walk.
+struct RotateSumSchedule {
+  std::vector<int> baby;
+  std::vector<int> giant;
+};
+
+RotateSumSchedule rotate_sum_schedule(std::size_t width) {
+  RotateSumSchedule sched;
+  if (width <= 1) return sched;
+  std::size_t log_w = 0;
+  while ((std::size_t{1} << log_w) < width) ++log_w;
+  const std::size_t n1 = std::size_t{1} << ((log_w + 1) / 2);
+  for (std::size_t g = 1; g < n1 && g < width; ++g) {
+    sched.baby.push_back(static_cast<int>(g));
+  }
+  for (std::size_t s = n1; s < width; s <<= 1) {
+    sched.giant.push_back(static_cast<int>(s));
+  }
+  return sched;
+}
+
+}  // namespace
+
+std::vector<int> Evaluator::rotate_sum_steps(std::size_t width) {
+  const RotateSumSchedule sched = rotate_sum_schedule(width);
+  std::vector<int> steps = sched.baby;
+  steps.insert(steps.end(), sched.giant.begin(), sched.giant.end());
+  return steps;
+}
+
+void Evaluator::rotate_sum_inplace(Ciphertext& a, std::size_t width,
+                                   const GaloisKeys& gk) const {
+  if (width <= 1) return;
+  if ((width & (width - 1)) != 0) {
+    throw std::invalid_argument("rotate_sum_inplace: width must be 2^k");
+  }
+  const RotateSumSchedule sched = rotate_sum_schedule(width);
+  // Baby phase, hoisted: a <- sum of rot_g(a), g in [0, n1).
+  if (!sched.baby.empty()) {
+    const auto rots = rotate_rows_many(a, sched.baby, gk);
+    for (const auto& r : rots) {
+      add_inplace(a, r);
+    }
+  }
+  // Giant phase: doubling strides fold the n1-blocks together.
+  for (const int s : sched.giant) {
+    Ciphertext rot = a;
+    rotate_rows_inplace(rot, s, gk);
+    add_inplace(a, rot);
+  }
 }
 
 void Evaluator::rotate_rows_inplace(Ciphertext& a, int step,

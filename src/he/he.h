@@ -9,6 +9,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/rng.h"
 #include "common/serialize.h"
 #include "he/context.h"
@@ -56,7 +57,8 @@ struct HeOpCounters {
   OpCount adds;
   OpCount plain_mults;
   OpCount ct_mults;
-  OpCount rotations;
+  OpCount rotations;          // all Galois key-switches (hoisted included)
+  OpCount hoisted_rotations;  // subset served from a shared decomposition
   OpCount relins;
 
   void clear() { *this = HeOpCounters{}; }
@@ -76,7 +78,12 @@ class KeyGenerator {
   void add_galois_key(GaloisKeys& keys, u64 elt);
 
  private:
-  KSwitchKey make_kswitch_key(const RnsPoly& target_ntt);
+  // Switching key for `target_ntt` under base-2^decomp_bits sub-digits
+  // (0 = one full-width digit per RNS limb; see keys.h).
+  KSwitchKey make_kswitch_key(const RnsPoly& target_ntt,
+                              std::uint32_t decomp_bits);
+  // Elementwise Shoup quotients of a key polynomial (per-limb modulus).
+  RnsPoly shoup_table(const RnsPoly& key_part) const;
 
   const HeContext& ctx_;
   Rng& rng_;
@@ -122,6 +129,60 @@ class Decryptor {
   const SecretKey& sk_;
 };
 
+// Hoisted key-switching — the standard trick fast HE libraries use to
+// amortize rotation sets: decompose + NTT the input polynomial ONCE, then
+// key-switch it against any number of Galois elements.  Per element the
+// work is a slot permutation of the cached digits (automorphisms act on NTT
+// form as pure permutations) plus one lazily-accumulated pointwise pass per
+// key digit — no NTTs at all — so a rotation set of size r costs one
+// decomposition instead of r.
+//
+// Digit convention: permuting cached digits negates wrapped coefficients
+// modulo each q_j instead of modulo the digit's source prime q_i.  The
+// permuted digits still satisfy the gadget identity — congruent to the
+// automorphed polynomial modulo q_i, centered magnitude unchanged — so
+// correctness and noise match the decompose-after-automorphism order; only
+// the (equivalent) ciphertext bits differ.  Every rotation path in this
+// library routes through this class, so rotations stay deterministic across
+// thread counts, kernels, and hoisted-vs-single-call usage.
+class HoistedKeySwitch {
+ public:
+  // Decomposes c into gadget digits and transforms all digits x rns_size
+  // digit limbs to NTT form.  decomp_bits must match the switching keys
+  // apply() will be given (KSwitchKey::decomp_bits).
+  //
+  // decomp_bits == 0 (CRT digits): the digit for limb i is c mod q_i,
+  // re-reduced into every other modulus with the kernel reduce_span.
+  // NTT-form input (the ciphertext-resident shape) reuses its limbs as the
+  // digit diagonal, so only k*(k-1) forward transforms are paid.
+  //
+  // decomp_bits == w > 0 (sub-digits): each residue splits into base-2^w
+  // digits whose values are < 2^w < q_j for every modulus — already reduced
+  // everywhere, no re-reduction pass at all; each digit row pays one
+  // forward transform per modulus.
+  //
+  // Digit storage comes from the calling thread's PolyArena.
+  HoistedKeySwitch(const HeContext& ctx, const RnsPoly& c,
+                   std::uint32_t decomp_bits);
+
+  // Accumulates the key-switch of galois_elt(c) into (acc0, acc1), both
+  // NTT form.  elt == 1 is the identity (plain key switch of c).
+  void apply(u64 elt, const KSwitchKey& key, RnsPoly& acc0,
+             RnsPoly& acc1) const;
+
+ private:
+  const u64* digit(std::size_t f, std::size_t j) const {
+    return digits_.data() + (f * k_ + j) * n_;
+  }
+
+  const HeContext& ctx_;
+  std::size_t k_ = 0;  // RNS limb count
+  std::size_t n_ = 0;
+  std::uint32_t decomp_bits_ = 0;
+  std::size_t digit_count_ = 0;
+  PolyArena::Scratch digits_;  // digit_count_ x k limbs, digit-major, NTT
+};
+
 class Evaluator {
  public:
   explicit Evaluator(const HeContext& ctx);
@@ -152,18 +213,36 @@ class Evaluator {
   void rotate_columns_inplace(Ciphertext& a, const GaloisKeys& gk) const;
   void apply_galois_inplace(Ciphertext& a, u64 elt, const GaloisKeys& gk) const;
 
+  // All rotations of `a` by the given steps, hoisted: one digit
+  // decomposition of a's c1 shared by the whole set (step 0 returns a
+  // copy).  Bit-identical to rotating one step at a time.
+  std::vector<Ciphertext> rotate_rows_many(const Ciphertext& a,
+                                           const std::vector<int>& steps,
+                                           const GaloisKeys& gk) const;
+
+  // a <- sum of rot_j(a) for j in [0, width) (width a power of two): every
+  // slot group of `width` ends up holding the group total in slot 0.
+  // Baby-step/giant-step: hoisted baby rotations 1..n1-1 plus log2(width/n1)
+  // doubling rotations, instead of log2(width) full key-switches.
+  void rotate_sum_inplace(Ciphertext& a, std::size_t width,
+                          const GaloisKeys& gk) const;
+  // Galois-key steps rotate_sum_inplace(width) needs.
+  static std::vector<int> rotate_sum_steps(std::size_t width);
+
   // Serialization (for channel byte accounting).
   void serialize(const Ciphertext& ct, ByteWriter& w) const;
   Ciphertext deserialize(ByteReader& r) const;
 
+  // Key-switches polynomial c (either domain; NTT form is cheaper — see
+  // HoistedKeySwitch) w.r.t. key, accumulating the result (NTT form) into
+  // (acc0, acc1).  Public so benches and hoisting-aware callers can reach
+  // the primitive directly.
+  void key_switch(const RnsPoly& c, const KSwitchKey& key, RnsPoly& acc0,
+                  RnsPoly& acc1) const;
+
   HeOpCounters& counters() const { return counters_; }
 
  private:
-  // Key-switches coefficient-form polynomial c w.r.t. key, accumulating the
-  // result (NTT form) into (acc0, acc1).
-  void key_switch(const RnsPoly& c_coeff, const KSwitchKey& key,
-                  RnsPoly& acc0, RnsPoly& acc1) const;
-
   const HeContext& ctx_;
   mutable HeOpCounters counters_;
 };

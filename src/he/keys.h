@@ -2,11 +2,19 @@
 //
 // Key switching uses the RNS-digit gadget (the same construction SEAL calls
 // "key switching keys"): for a source key s_src and RNS basis {q_i}, the
-// switching key holds, for every digit i,
-//     K_i = ( -(a_i * s + t*e_i) + P_i * s_src ,  a_i )
+// switching key holds, for every digit (i, d),
+//     K_{i,d} = ( -(a * s + t*e) + 2^{d*w} * P_i * s_src ,  a )
 // where P_i = (q/q_i) * [(q/q_i)^{-1}]_{q_i} is the CRT unit (1 mod q_i,
-// 0 mod q_j).  Summing d_i (*) K_i over the RNS digits d_i of a polynomial c
-// yields an encryption of c * s_src under s.
+// 0 mod q_j) and w = decomp_bits splits each residue into base-2^w
+// sub-digits.  Summing digit_{i,d} (*) K_{i,d} over the decomposition of a
+// polynomial c yields an encryption of c * s_src under s.
+//
+// decomp_bits == 0 means one full-width digit per RNS prime (d = 0 only) —
+// the cheapest layout, used for relinearization where the incoming
+// multiplication noise dominates anyway.  Galois keys use finer sub-digits
+// (HeContext::galois_decomp_bits, half the modulus width): the key-switch
+// noise scales with the digit magnitude, and rotations must leave room for
+// the plaintext multiplications BSGS matmuls apply AFTER rotating.
 #pragma once
 
 #include <cstdint>
@@ -27,11 +35,23 @@ struct PublicKey {
 };
 
 struct KSwitchKey {
-  // One (b_i, a_i) pair per RNS digit, all NTT form.
+  // One (b, a) pair per gadget digit, all NTT form, flattened in the order
+  // HeContext::decomp_layout(decomp_bits) enumerates: limb-major, then
+  // sub-digit (shift) within the limb.
   std::vector<RnsPoly> b;
   std::vector<RnsPoly> a;
+  // Elementwise Shoup quotients floor(elem * 2^64 / q_j) of b / a — the key
+  // limbs are the fixed operand of every key-switch product, so the
+  // quotients are precomputed once at keygen and the hot loop accumulates
+  // division-free products in [0, 2p) (kernel shoup_mul_acc_lazy).
+  std::vector<RnsPoly> b_shoup;
+  std::vector<RnsPoly> a_shoup;
+  // Sub-digit width this key was generated for (0 = one digit per limb).
+  std::uint32_t decomp_bits = 0;
 
   bool empty() const { return b.empty(); }
+  std::size_t digits() const { return b.size(); }
+  bool has_shoup() const { return b_shoup.size() == b.size() && !b.empty(); }
 };
 
 struct RelinKey {

@@ -124,6 +124,40 @@ struct NttKernel {
   // out[i] = w * a[i] mod p with Shoup precomputation.
   void (*scalar_mul)(u64* out, const u64* a, std::size_t n, u64 w,
                      u64 w_shoup, u64 p);
+
+  // out[i] = a[i] mod p for arbitrary 64-bit inputs (residues of a wider
+  // modulus) — the key-switch digit re-reduction.  ratio_hi is the high
+  // word of floor(2^128 / p) (Barrett::ratio_hi()).  May alias out == a.
+  void (*reduce_span)(u64* out, const u64* a, std::size_t n, u64 p,
+                      u64 ratio_hi);
+  // Lazy 128-bit accumulate: (hi[i]:lo[i]) += a[i] * b[i], no reduction at
+  // all.  Caller bounds the running sum below p * 2^64 — k accumulated
+  // products of values < p need k * p < 2^64 (k <= 8 at the p < 2^61
+  // library bound).
+  void (*mul_acc_lazy)(u64* lo, u64* hi, const u64* a, const u64* b,
+                       std::size_t n);
+  // out[i] = (hi[i]*2^64 + lo[i]) mod p — the single Barrett sweep that
+  // closes a mul_acc_lazy chain.
+  void (*reduce_acc_span)(u64* out, const u64* lo, const u64* hi,
+                          std::size_t n, u64 p, u64 ratio_hi, u64 ratio_lo);
+  // Dual-stream Shoup-lazy accumulate: acc0[i] += a[i] * w0[i] mod⁺ p and
+  // acc1[i] += a[i] * w1[i] mod⁺ p in one pass over the shared operand `a`
+  // (the key-switch digit, consumed by the key's b and a limbs together).
+  // w*_shoup[i] holds floor(w*[i] * 2^64 / p), precomputed at keygen for
+  // the fixed key streams.  Each product lands in [0, 2p) with no division
+  // and a single conditional subtraction keeps the accumulators in [0, 2p)
+  // — the running sums never widen past 64 bits regardless of how many
+  // digits accumulate.  Requires w*[i] < p and acc* in [0, 2p) on entry;
+  // `a` may be any 64-bit values.
+  void (*shoup_mul_acc_lazy2)(u64* acc0, u64* acc1, const u64* a,
+                              const u64* w0, const u64* w0_shoup,
+                              const u64* w1, const u64* w1_shoup,
+                              std::size_t n, u64 p);
+  // out[i] = (a[i] + canonical(b[i])) mod p with a fully reduced and b in
+  // [0, 2p) — folds the closing correction of a shoup_mul_acc_lazy chain
+  // into the accumulator add.
+  void (*add_reduce2p)(u64* out, const u64* a, const u64* b, std::size_t n,
+                       u64 p);
 };
 
 // The portable reference kernels (always available).

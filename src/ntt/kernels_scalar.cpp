@@ -112,10 +112,68 @@ void scalar_mul_scalar(u64* out, const u64* a, std::size_t n, u64 w,
   }
 }
 
+void reduce_span_scalar(u64* out, const u64* a, std::size_t n, u64 p,
+                        u64 ratio_hi) {
+  for (std::size_t i = 0; i < n; ++i) {
+    // Single-word Barrett quotient (Barrett::reduce): undershoots the true
+    // quotient by at most 2, corrected by the subtraction loop.
+    const u64 x = a[i];
+    const u64 q = static_cast<u64>((static_cast<u128>(x) * ratio_hi) >> 64);
+    u64 r = x - q * p;
+    while (r >= p) r -= p;
+    out[i] = r;
+  }
+}
+
+void mul_acc_lazy_scalar(u64* lo, u64* hi, const u64* a, const u64* b,
+                         std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const u128 prod = static_cast<u128>(a[i]) * b[i];
+    const u64 plo = static_cast<u64>(prod);
+    const u64 s = lo[i] + plo;
+    hi[i] += static_cast<u64>(prod >> 64) + (s < plo ? 1 : 0);
+    lo[i] = s;
+  }
+}
+
+void reduce_acc_span_scalar(u64* out, const u64* lo, const u64* hi,
+                            std::size_t n, u64 p, u64 ratio_hi, u64 ratio_lo) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const u128 acc = (static_cast<u128>(hi[i]) << 64) | lo[i];
+    out[i] = barrett_reduce128(acc, p, ratio_hi, ratio_lo);
+  }
+}
+
+void shoup_mul_acc_lazy2_scalar(u64* acc0, u64* acc1, const u64* a,
+                                const u64* w0, const u64* w0_shoup,
+                                const u64* w1, const u64* w1_shoup,
+                                std::size_t n, u64 p) {
+  const u64 two_p = 2 * p;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 x = a[i];
+    u64 s0 = acc0[i] + shoup_lazy(x, w0[i], w0_shoup[i], p);  // [0, 4p)
+    if (s0 >= two_p) s0 -= two_p;
+    acc0[i] = s0;
+    u64 s1 = acc1[i] + shoup_lazy(x, w1[i], w1_shoup[i], p);
+    if (s1 >= two_p) s1 -= two_p;
+    acc1[i] = s1;
+  }
+}
+
+void add_reduce2p_scalar(u64* out, const u64* a, const u64* b, std::size_t n,
+                         u64 p) {
+  for (std::size_t i = 0; i < n; ++i) {
+    u64 x = b[i];
+    if (x >= p) x -= p;
+    out[i] = add_mod(a[i], x, p);
+  }
+}
+
 const NttKernel kScalarKernel = {
     "scalar",        fwd_ntt_scalar, inv_ntt_scalar, add_scalar,
     sub_scalar,      neg_scalar,     mul_scalar,     mul_acc_scalar,
-    scalar_mul_scalar,
+    scalar_mul_scalar, reduce_span_scalar, mul_acc_lazy_scalar,
+    reduce_acc_span_scalar, shoup_mul_acc_lazy2_scalar, add_reduce2p_scalar,
 };
 
 }  // namespace

@@ -15,15 +15,6 @@ int ilog2(std::size_t n) {
   return l;
 }
 
-std::size_t bit_reverse(std::size_t v, int bits) {
-  std::size_t r = 0;
-  for (int i = 0; i < bits; ++i) {
-    r = (r << 1) | (v & 1);
-    v >>= 1;
-  }
-  return r;
-}
-
 }  // namespace
 
 Ntt::Ntt(std::size_t n, u64 p)

@@ -24,6 +24,19 @@
 
 namespace primer {
 
+// Bit-reversal of the low `bits` bits of v — the slot ordering the
+// Cooley–Tukey butterflies produce.  Shared by the twiddle-table builder
+// and the Galois NTT permutation tables (HeContext::galois_ntt_table), so
+// any index-ordering change stays in one place.
+inline std::size_t bit_reverse(std::size_t v, int bits) {
+  std::size_t r = 0;
+  for (int i = 0; i < bits; ++i) {
+    r = (r << 1) | (v & 1);
+    v >>= 1;
+  }
+  return r;
+}
+
 class Ntt {
  public:
   // `n` must be a power of two; `p` must satisfy p ≡ 1 (mod 2n).

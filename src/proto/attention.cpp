@@ -167,7 +167,9 @@ LinearShares CtCtProduct::online(const std::string& step_name, const MatI& ac,
     const MatI rs2 = pc_.ring.random(pc_.server_rng, m_, n_);
     sub_layout_plain(pc_, s2, rs2);
 
-    // Genuine ct-ct multiplications with rotate-and-sum dot products.
+    // Genuine ct-ct multiplications; each dot product reduces its k_ slots
+    // with the BSGS rotate-sum (hoisted baby rotations + doubling giants)
+    // instead of log2(k_) full key-switches.
     const MatI rs3 = pc_.ring.random(pc_.server_rng, n_, m_);
     std::vector<Ciphertext> dots;
     dots.reserve(n_ * m_);
@@ -175,12 +177,7 @@ LinearShares CtCtProduct::online(const std::string& step_name, const MatI& ac,
       for (std::size_t o = 0; o < m_; ++o) {
         Ciphertext prod = pc_.eval.multiply(srv_rows[i], srv_cols[o]);
         pc_.eval.relinearize_inplace(prod, pc_.rk);
-        for (std::size_t stepsz = k_ / 2; stepsz >= 1; stepsz /= 2) {
-          Ciphertext rot = prod;
-          pc_.eval.rotate_rows_inplace(rot, static_cast<int>(stepsz), pc_.gk);
-          pc_.eval.add_inplace(prod, rot);
-          if (stepsz == 1) break;
-        }
+        pc_.eval.rotate_sum_inplace(prod, k_, pc_.gk);
         std::vector<u64> mask(1, static_cast<u64>(rs3(i, o)));
         pc_.eval.sub_plain_inplace(prod, pc_.encoder.encode(mask));
         dots.push_back(std::move(prod));
@@ -227,6 +224,7 @@ ChgsScores::ChgsScores(ProtocolContext& pc, std::size_t tokens, const MatI& we,
     : pc_(pc), n_(tokens), we_(pc.ring.reduce(we)),
       pos_(pc.ring.reduce(pos)),
       mm_(pc.he, pc.encoder, pc.eval, PackingStrategy::kTokensFirst) {
+  pc_.ensure_rotation_steps(mm_.rotation_steps(n_));
   // Wqk = wq_h * wk_h^T in the ring (2*frac domain).
   wqk_ = pc_.ring.mul(pc_.ring.reduce(wq_h),
                       transpose_ring(pc_.ring.reduce(wk_h)));

@@ -22,7 +22,7 @@ PrimitiveCosts PrimitiveCosts::measure(HeProfile profile) {
   const Encryptor enc(ctx, keygen.secret_key(), rng);
   const Decryptor dec(ctx, keygen.secret_key());
   const Evaluator eval(ctx);
-  const auto gk = keygen.make_galois_keys({1});
+  const auto gk = keygen.make_galois_keys({1, 2, 3, 4});
   const auto rk = keygen.make_relin_key();
 
   std::vector<u64> vals(encoder.slot_count());
@@ -51,6 +51,10 @@ PrimitiveCosts PrimitiveCosts::measure(HeProfile profile) {
     Ciphertext a = ct;
     eval.rotate_rows_inplace(a, 1, gk);
   });
+  c.hoisted_rotation = time_n(3, [&] {
+    const auto rots = eval.rotate_rows_many(ct, {1, 2, 3, 4}, gk);
+    (void)rots;
+  }) / 4.0;
   c.ct_mult = time_n(4, [&] {
     Ciphertext a = eval.multiply(ct, ct2);
     eval.relinearize_inplace(a, rk);
@@ -160,6 +164,7 @@ StepEstimate& StepEstimate::operator+=(const StepEstimate& o) {
   offline_bytes += o.offline_bytes;
   online_bytes += o.online_bytes;
   rotations += o.rotations;
+  naive_rotations += o.naive_rotations;
   plain_mults += o.plain_mults;
   ct_mults += o.ct_mults;
   gc_ands += o.gc_ands;
@@ -195,13 +200,20 @@ struct Ctx {
   }
 };
 
+// Rotation cost of a BSGS matmul: baby rotations are hoisted (shared digit
+// decomposition), giant rotations pay the full key-switch.
+double rotation_cost(const PackedMatmulStats& counts, const PrimitiveCosts& pc) {
+  return static_cast<double>(counts.baby_rotations) * pc.hoisted_rotation +
+         static_cast<double>(counts.giant_rotations) * pc.rotation;
+}
+
 // HE ct-pt matmul cost from the packing count model.
 StepEstimate he_matmul(const Ctx& c, PackingStrategy strategy, std::size_t n,
                        std::size_t d_in, std::size_t d_out, bool offline) {
   const auto counts = packed_matmul_counts(strategy, n, d_in, d_out, c.pc.slots);
   StepEstimate e;
   const double compute =
-      counts.rotations * c.pc.rotation + counts.plain_mults * c.pc.plain_mult +
+      rotation_cost(counts, c.pc) + counts.plain_mults * c.pc.plain_mult +
       counts.adds * c.pc.add + counts.input_ciphertexts * c.pc.encrypt +
       counts.output_ciphertexts * c.pc.decrypt;
   const auto bytes = static_cast<std::uint64_t>(
@@ -216,6 +228,7 @@ StepEstimate he_matmul(const Ctx& c, PackingStrategy strategy, std::size_t n,
     e.online_bytes = bytes;
   }
   e.rotations = counts.rotations;
+  e.naive_rotations = counts.naive_rotations;
   e.plain_mults = counts.plain_mults;
   return e;
 }
@@ -275,15 +288,21 @@ StepEstimate fhgs_product(const Ctx& c, std::size_t n, std::size_t k,
   return e;
 }
 
-// Primer-base / THE-X ct-ct matmul: n*m dot products of length k.
+// Primer-base / THE-X ct-ct matmul: n*m dot products of length k, each
+// reduced with the BSGS rotate-sum (n1-1 hoisted babies + doubling giants).
 StepEstimate ctct_product(const Ctx& c, std::size_t n, std::size_t k,
                           std::size_t m) {
   StepEstimate e;
   const double pairs = static_cast<double>(n) * m;
-  const double rot_per = std::log2(static_cast<double>(std::max<std::size_t>(2, k)));
-  e.online_s = pairs * (c.pc.ct_mult + rot_per * c.pc.rotation);
+  std::size_t log_w = 0;
+  while ((std::size_t{1} << log_w) < std::max<std::size_t>(2, k)) ++log_w;
+  const std::size_t half = (log_w + 1) / 2;
+  const double hoisted = static_cast<double>((std::size_t{1} << half) - 1);
+  const double full = static_cast<double>(log_w - half);
+  e.online_s = pairs * (c.pc.ct_mult + hoisted * c.pc.hoisted_rotation +
+                        full * c.pc.rotation);
   e.ct_mults = static_cast<std::uint64_t>(pairs);
-  e.rotations = static_cast<std::uint64_t>(pairs * rot_per);
+  e.rotations = static_cast<std::uint64_t>(pairs * (hoisted + full));
   const auto bytes = static_cast<std::uint64_t>(
       (n + m + pairs) * c.pc.ciphertext_bytes);
   e.online_s += c.net_s(bytes, 2);
@@ -422,18 +441,18 @@ ModelEstimate estimate_cost(const BertConfig& cfg, CostedScheme scheme,
         // rotated copies depend only on Enc(G), not on the head weights).
         StepEstimate on = he_matmul(c, PackingStrategy::kTokensFirst, n, d, n,
                                     false);
+        const auto cts = packed_matmul_counts(PackingStrategy::kTokensFirst,
+                                              n, d, n, c.pc.slots);
         if (h > 0) {
-          const auto cts = packed_matmul_counts(PackingStrategy::kTokensFirst,
-                                                n, d, n, c.pc.slots);
-          on.online_s -= static_cast<double>(cts.rotations) * c.pc.rotation;
+          on.online_s -= rotation_cost(cts, c.pc);
           on.rotations = 0;
+          on.naive_rotations = 0;
         }
         add_step(me, "qk", on);
         StepEstimate on2 = on;
-        on2.online_s -= (h == 0)
-                            ? static_cast<double>(on.rotations) * c.pc.rotation
-                            : 0.0;
+        on2.online_s -= (h == 0) ? rotation_cost(cts, c.pc) : 0.0;
         on2.rotations = 0;
+        on2.naive_rotations = 0;
         add_step(me, "qk", on2);
         add_step(me, "qk", plain_matmul(c, n, d, d));
         add_step(me, "qk", plain_matmul(c, n, d, n));

@@ -29,6 +29,7 @@ namespace primer {
 struct PrimitiveCosts {
   // HE (per operation, seconds).
   double rotation = 0;
+  double hoisted_rotation = 0;  // amortized per rotation of a hoisted set
   double plain_mult = 0;
   double ct_mult = 0;     // tensoring + relinearization
   double add = 0;
@@ -65,7 +66,8 @@ struct StepEstimate {
   double online_s = 0;
   std::uint64_t offline_bytes = 0;
   std::uint64_t online_bytes = 0;
-  std::uint64_t rotations = 0;
+  std::uint64_t rotations = 0;        // live BSGS key-switch schedule
+  std::uint64_t naive_rotations = 0;  // the paper's sequential schedule
   std::uint64_t plain_mults = 0;
   std::uint64_t ct_mults = 0;
   std::uint64_t gc_ands = 0;

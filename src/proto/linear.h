@@ -28,7 +28,9 @@ class HgsLinear {
   HgsLinear(ProtocolContext& pc, MatI w, std::vector<std::int64_t> bias,
             std::size_t tokens, PackingStrategy strategy)
       : pc_(pc), w_(std::move(w)), bias_(std::move(bias)), tokens_(tokens),
-        mm_(pc.he, pc.encoder, pc.eval, strategy) {}
+        mm_(pc.he, pc.encoder, pc.eval, strategy) {
+    pc_.ensure_rotation_steps(mm_.rotation_steps(tokens_));
+  }
 
   // Offline phase.  `rc` is the client's mask for this layer's input (the
   // same mask the preceding GC stage used to re-share its output).
@@ -57,7 +59,9 @@ class BaseLinear {
   BaseLinear(ProtocolContext& pc, MatI w, std::vector<std::int64_t> bias,
              std::size_t tokens, PackingStrategy strategy)
       : pc_(pc), w_(std::move(w)), bias_(std::move(bias)), tokens_(tokens),
-        mm_(pc.he, pc.encoder, pc.eval, strategy) {}
+        mm_(pc.he, pc.encoder, pc.eval, strategy) {
+    pc_.ensure_rotation_steps(mm_.rotation_steps(tokens_));
+  }
 
   // Fully-online: input is shared (Xc at client, Xs at server); output is
   // shares of X*W + bias.  Charged to costs["online"][step_name].

@@ -30,7 +30,13 @@ enum class PackingStrategy { kFeatureBased, kTokensFirst };
 struct PackedMatmulStats {
   std::uint64_t input_ciphertexts = 0;
   std::uint64_t output_ciphertexts = 0;
-  std::uint64_t rotations = 0;
+  std::uint64_t rotations = 0;        // total key-switches (baby + giant)
+  std::uint64_t baby_rotations = 0;   // hoisted: share one decomposition
+  std::uint64_t giant_rotations = 0;  // full key-switches on partial sums
+  // Key-switches the paper's sequential Horner walk would pay (c*(M-1)
+  // feature-based, c*(M/n-1) tokens-first) — the schedule Fig. 6 counts.
+  // The live BSGS execution pays `rotations` (~n1+n2 per set) instead.
+  std::uint64_t naive_rotations = 0;
   std::uint64_t plain_mults = 0;
   std::uint64_t adds = 0;
 
@@ -38,11 +44,20 @@ struct PackedMatmulStats {
     input_ciphertexts += o.input_ciphertexts;
     output_ciphertexts += o.output_ciphertexts;
     rotations += o.rotations;
+    baby_rotations += o.baby_rotations;
+    giant_rotations += o.giant_rotations;
+    naive_rotations += o.naive_rotations;
     plain_mults += o.plain_mults;
     adds += o.adds;
     return *this;
   }
 };
+
+// Baby-step/giant-step split of an `iters`-alignment rotation set: returns
+// (n1, n2) with n1*n2 >= iters and n1 ~ sqrt(iters), so the set costs
+// (n1-1) hoisted baby key-switches plus (n2-1) giant key-switches per
+// output chain instead of iters-1 sequential ones.
+std::pair<std::size_t, std::size_t> bsgs_split(std::size_t iters);
 
 // Pure operation-count model (no HE work) — used by the cost model to
 // extrapolate to BERT-scale dimensions.
@@ -76,8 +91,12 @@ class PackedMatmul {
                       const Decryptor& dec, std::size_t tokens,
                       std::size_t d_out) const;
 
-  // Rotation step the strategy uses (the only Galois key it needs).
+  // Rotation step the strategy aligns by (baby steps are its multiples).
   int rotation_step(std::size_t tokens) const;
+
+  // Rotation steps multiply() needs Galois keys for: the BSGS baby steps
+  // {g*step : 1 <= g < n1} plus the single giant step n1*step.
+  std::vector<int> rotation_steps(std::size_t tokens) const;
 
   PackingStrategy strategy() const { return strategy_; }
 

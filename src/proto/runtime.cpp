@@ -18,6 +18,12 @@ ProtocolContext::ProtocolContext(HeProfile profile, std::uint64_t seed,
       rk(keygen.make_relin_key()),
       ring(he.t()) {}
 
+void ProtocolContext::ensure_rotation_steps(const std::vector<int>& steps) {
+  for (const int s : steps) {
+    keygen.add_galois_key(gk, he.galois_elt_from_step(s));
+  }
+}
+
 void ProtocolContext::step(const std::string& phase,
                            const std::string& step_name,
                            const std::function<void()>& fn) {

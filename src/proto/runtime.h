@@ -46,6 +46,12 @@ class ProtocolContext {
   std::uint64_t t() const { return he.t(); }
   std::size_t share_bits() const { return share_width(he.t()); }
 
+  // Adds Galois keys for any of `steps` not yet present.  Protocol objects
+  // call this from their constructors with the BSGS step sets their packed
+  // matmuls and rotate-sums need, so key material always matches the
+  // rotation schedule regardless of what the engine seeded.
+  void ensure_rotation_steps(const std::vector<int>& steps);
+
   // Runs `fn`, charging its wall-clock time plus the channel traffic it
   // generated to costs[phase][step].
   void step(const std::string& phase, const std::string& step_name,

@@ -144,10 +144,19 @@ TEST_F(CostModelTest, PackingReducesRotationsByTokenFactor) {
   const auto cfg = bert_base();
   const auto f = estimate_cost(cfg, CostedScheme::kPrimerF, pc);
   const auto fp = estimate_cost(cfg, CostedScheme::kPrimerFP, pc);
-  const double ratio = static_cast<double>(f.total().rotations) /
-                       static_cast<double>(fp.total().rotations);
-  EXPECT_GT(ratio, 10.0);
-  EXPECT_LT(ratio, 60.0);
+  // The paper's factor-n claim is about the sequential alignment schedule;
+  // the live BSGS schedule compresses both sides to ~n1+n2 per set but
+  // keeps a clear tokens-first advantage.
+  const double naive_ratio =
+      static_cast<double>(f.total().naive_rotations) /
+      static_cast<double>(fp.total().naive_rotations);
+  EXPECT_GT(naive_ratio, 10.0);
+  EXPECT_LT(naive_ratio, 60.0);
+  const double live_ratio = static_cast<double>(f.total().rotations) /
+                            static_cast<double>(fp.total().rotations);
+  EXPECT_GT(live_ratio, 2.0);
+  EXPECT_LT(f.total().rotations, f.total().naive_rotations);
+  EXPECT_LT(fp.total().rotations, fp.total().naive_rotations);
 }
 
 TEST(PaperNumbersTable, MatchesPublishedValues) {

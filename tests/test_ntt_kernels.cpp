@@ -166,6 +166,109 @@ TEST(Kernels, ScalarAvx2ElementwiseBitEquality) {
     for (std::size_t i = 0; i < 64; ++i) {
       EXPECT_EQ(out_vx[i], mul_mod(w, a[i], p));
     }
+
+    // Key-switch kernels: re-reduction of arbitrary 64-bit inputs, the
+    // lazy 128-bit accumulator, and its closing Barrett sweep.
+    std::vector<u64> wide(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      wide[i] = (rng.uniform(u64{1} << 32) << 32) | rng.uniform(u64{1} << 32);
+    }
+    wide[0] = 0;
+    wide[1] = ~u64{0};
+    wide[2] = p;
+    wide[3] = p - 1;
+    sc.reduce_span(out_sc.data(), wide.data(), n, p, br.ratio_hi());
+    vx.reduce_span(out_vx.data(), wide.data(), n, p, br.ratio_hi());
+    EXPECT_EQ(out_sc, out_vx) << "reduce_span p=" << p;
+    EXPECT_TRUE(fully_reduced(out_vx, p));
+    for (std::size_t i = 0; i < 64; ++i) {
+      EXPECT_EQ(out_vx[i], wide[i] % p) << "reduce_span vs naive i=" << i;
+    }
+
+    std::vector<u64> lo_sc(n, 0), hi_sc(n, 0), lo_vx(n, 0), hi_vx(n, 0);
+    for (int d = 0; d < 3; ++d) {  // 3 products: the k=3 key-switch shape
+      sc.mul_acc_lazy(lo_sc.data(), hi_sc.data(), a.data(), b.data(), n);
+      vx.mul_acc_lazy(lo_vx.data(), hi_vx.data(), a.data(), b.data(), n);
+    }
+    EXPECT_EQ(lo_sc, lo_vx) << "mul_acc_lazy lo p=" << p;
+    EXPECT_EQ(hi_sc, hi_vx) << "mul_acc_lazy hi p=" << p;
+
+    sc.reduce_acc_span(out_sc.data(), lo_sc.data(), hi_sc.data(), n, p,
+                       br.ratio_hi(), br.ratio_lo());
+    vx.reduce_acc_span(out_vx.data(), lo_vx.data(), hi_vx.data(), n, p,
+                       br.ratio_hi(), br.ratio_lo());
+    EXPECT_EQ(out_sc, out_vx) << "reduce_acc_span p=" << p;
+    EXPECT_TRUE(fully_reduced(out_vx, p));
+    for (std::size_t i = 0; i < 64; ++i) {
+      // 3 * a[i] * b[i] mod p via fully-reduced arithmetic.
+      const u64 prod = mul_mod(a[i], b[i], p);
+      const u64 expect = add_mod(add_mod(prod, prod, p), prod, p);
+      EXPECT_EQ(out_vx[i], expect) << "reduce_acc_span vs naive i=" << i;
+    }
+
+    // Shoup-lazy accumulation with elementwise precomputed quotients, and
+    // the fused [0,2p)-canonicalize-and-add that closes the chain.
+    std::vector<u64> w_shoup(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      w_shoup[i] = static_cast<u64>((static_cast<u128>(b[i]) << 64) / p);
+    }
+    std::vector<u64> lane_sc(n, 0), lane_vx(n, 0);
+    std::vector<u64> lane2_sc(n, 0), lane2_vx(n, 0);
+    std::vector<u64> a_shoup(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a_shoup[i] = static_cast<u64>((static_cast<u128>(a[i]) << 64) / p);
+    }
+    for (int d = 0; d < 3; ++d) {
+      sc.shoup_mul_acc_lazy2(lane_sc.data(), lane2_sc.data(), a.data(),
+                             b.data(), w_shoup.data(), a.data(),
+                             a_shoup.data(), n, p);
+      vx.shoup_mul_acc_lazy2(lane_vx.data(), lane2_vx.data(), a.data(),
+                             b.data(), w_shoup.data(), a.data(),
+                             a_shoup.data(), n, p);
+    }
+    EXPECT_EQ(lane_sc, lane_vx) << "shoup_mul_acc_lazy2 ch0 p=" << p;
+    EXPECT_EQ(lane2_sc, lane2_vx) << "shoup_mul_acc_lazy2 ch1 p=" << p;
+    auto acc2_sc = random_poly(rng, n, p);
+    auto acc2_vx = acc2_sc;
+    sc.add_reduce2p(acc2_sc.data(), acc2_sc.data(), lane_sc.data(), n, p);
+    vx.add_reduce2p(acc2_vx.data(), acc2_vx.data(), lane_vx.data(), n, p);
+    EXPECT_EQ(acc2_sc, acc2_vx) << "add_reduce2p p=" << p;
+    EXPECT_TRUE(fully_reduced(acc2_vx, p));
+    for (std::size_t i = 0; i < 64; ++i) {
+      u64 x = lane_vx[i];
+      if (x >= p) x -= p;  // canonicalized lane residue
+      const u64 prod = mul_mod(a[i], b[i], p);
+      EXPECT_EQ(x, add_mod(add_mod(prod, prod, p), prod, p))
+          << "shoup lane residue i=" << i;
+    }
+  }
+}
+
+TEST(Kernels, ForwardNttAcceptsLazyInputsBitExact) {
+  // The key-switch digit staging feeds RAW residues of one modulus into
+  // another modulus' forward transform whenever q_i < 4*q_j, relying on the
+  // lazy butterflies' [0, 4p) input contract.  The fully-reduced output
+  // must be bit-identical to reducing the inputs first — on both kernels.
+  Rng rng(13);
+  for (const std::size_t n : {std::size_t{64}, std::size_t{1024}}) {
+    for (u64 p : moduli_sweep(n)) {
+      if (p >= (u64{1} << 62)) continue;  // 4p must fit in 64 bits
+      const Ntt ntt(n, p);
+      const u64 bound = 4 * p - 1;  // inputs < 4p
+      std::vector<u64> raw(n);
+      rng.fill_uniform_mod(raw, bound);
+      raw[0] = 0;
+      raw[1] = bound - 1;
+      raw[2] = p;
+      raw[3] = 2 * p + 1;
+      std::vector<u64> reduced(n);
+      for (std::size_t i = 0; i < n; ++i) reduced[i] = raw[i] % p;
+      std::vector<u64> out_raw = raw, out_red = reduced;
+      ntt.forward(out_raw.data());
+      ntt.forward(out_red.data());
+      EXPECT_EQ(out_raw, out_red)
+          << "kernel " << ntt.kernel_name() << " p=" << p << " n=" << n;
+    }
   }
 }
 

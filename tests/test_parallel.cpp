@@ -141,12 +141,12 @@ PipelineOutput run_pipeline() {
     Encryptor enc(ctx, keygen.secret_key(), rng);
     Decryptor dec(ctx, keygen.secret_key());
     Evaluator eval(ctx);
-    const auto gk = keygen.make_galois_keys({static_cast<int>(tokens)});
     const ShareRing ring(ctx.t());
     const MatI x = ring.random(rng, tokens, d_in);
     const MatI w = random_fp_matrix(rng, d_in, d_out, -1.0, 1.0);
 
     PackedMatmul mm(ctx, encoder, eval, PackingStrategy::kTokensFirst);
+    const auto gk = keygen.make_galois_keys(mm.rotation_steps(tokens));
     const auto packed = mm.encrypt_input(x, enc);
     const auto result = mm.multiply(packed, w, tokens, ctx.t(), gk, nullptr);
     ByteWriter wtr;
