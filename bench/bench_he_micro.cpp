@@ -3,7 +3,8 @@
 // over thread counts and NTT kernel sets.
 //
 // Usage:
-//   bench_he_micro [--threads 1,2,4] [--kernel scalar,avx2] [--reps N]
+//   bench_he_micro [--threads 1,2,4]
+//                  [--kernel scalar,avx2,avx512,avx512ifma] [--reps N]
 //                  [--min-time SECONDS] [--json]
 //
 // Each measurement reports wall-clock seconds, aggregate process CPU
@@ -144,11 +145,18 @@ void bench_ntt(std::size_t threads, const Options& opt) {
     char label[32];
     std::snprintf(label, sizeof label, "n=%zu", n);
 
-    // Single transform: the per-core kernel cost the AVX2 path targets.
+    // Single transform: the per-core kernel cost the vector tiers target.
     std::vector<u64> poly(n);
     rng.fill_uniform_mod(poly, p);
     run_bench("ntt_forward", label, ntt.kernel_name(), threads, opt,
               [&] { ntt.forward(poly.data()); });
+    // Lazy-output forward (key-switch digit staging): skips the final
+    // [0, p) correction sweep.  Outputs stay < 4p, valid NTT inputs.
+    run_bench("ntt_forward_lazy", label, ntt.kernel_name(), threads, opt,
+              [&] { ntt.forward_lazy_out(poly.data()); });
+    // Restore canonical range before the inverse bench.
+    ntt.kernel().reduce_span(poly.data(), poly.data(), n, p,
+                             Barrett(p).ratio_hi());
     run_bench("ntt_inverse", label, ntt.kernel_name(), threads, opt,
               [&] { ntt.inverse(poly.data()); });
 
@@ -194,7 +202,7 @@ void bench_kernel_table(std::size_t threads, const Options& opt) {
     kern.mul_acc(out.data(), a.data(), b.data(), n, p, br.ratio_hi(),
                  br.ratio_lo());
   });
-  const ShoupMul sm(a[0], p);
+  const ShoupMul sm(a[0], p, kern.shoup_shift);
   run_bench("kernel_scalar_mul", label, kern.name, threads, opt, [&] {
     kern.scalar_mul(out.data(), a.data(), n, sm.operand, sm.quotient, p);
   });
@@ -218,10 +226,15 @@ void bench_kernel_table(std::size_t threads, const Options& opt) {
     kern.reduce_acc_span(out.data(), lo.data(), hi.data(), n, p,
                          br.ratio_hi(), br.ratio_lo());
   });
+  // Quotient tables in the dispatched kernel's own Shoup convention
+  // (floor(w * 2^shoup_shift / p): 64 for scalar/avx2/avx512, 52 for
+  // avx512ifma).
   std::vector<u64> a_shoup(n), b_shoup(n);
   for (std::size_t i = 0; i < n; ++i) {
-    a_shoup[i] = static_cast<u64>((static_cast<u128>(a[i]) << 64) / p);
-    b_shoup[i] = static_cast<u64>((static_cast<u128>(b[i]) << 64) / p);
+    a_shoup[i] =
+        static_cast<u64>((static_cast<u128>(a[i]) << kern.shoup_shift) / p);
+    b_shoup[i] =
+        static_cast<u64>((static_cast<u128>(b[i]) << kern.shoup_shift) / p);
   }
   std::vector<u64> lane(n, 0), lane2(n, 0);
   run_bench("kernel_shoup_mul_acc_lazy2", label, kern.name, threads, opt,

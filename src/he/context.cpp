@@ -128,7 +128,8 @@ void HeContext::multiply_accumulate(RnsPoly& acc, const RnsPoly& a,
 void HeContext::scalar_multiply_inplace(RnsPoly& a, u64 scalar) const {
   for (std::size_t i = 0; i < a.rns_size(); ++i) {
     const u64 p = params_.q[i];
-    const ShoupMul s(scalar % p, p);
+    // Quotient scale must match the consuming kernel set's convention.
+    const ShoupMul s(scalar % p, p, kernels(i).shoup_shift);
     kernels(i).scalar_mul(a.limb(i), a.limb(i), degree(), s.operand,
                           s.quotient, p);
   }

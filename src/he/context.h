@@ -31,7 +31,7 @@ class HeContext {
   const Ntt& plain_ntt() const { return *plain_ntt_; }
   const Barrett& barrett(std::size_t i) const { return barretts_[i]; }
   // The kernel set limb arithmetic modulo q_i dispatches to (shared with
-  // the per-prime Ntt; "scalar" or "avx2").
+  // the per-prime Ntt; "scalar", "avx2", "avx512", or "avx512ifma").
   const NttKernel& kernels(std::size_t i) const { return ntts_[i]->kernel(); }
   const char* kernel_name() const { return ntts_[0]->kernel_name(); }
 

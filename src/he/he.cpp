@@ -71,10 +71,14 @@ RnsPoly KeyGenerator::shoup_table(const RnsPoly& key_part) const {
   RnsPoly out(key_part.rns_size(), key_part.degree(), key_part.ntt_form);
   for (std::size_t j = 0; j < key_part.rns_size(); ++j) {
     const u64 qj = ctx_.q(j);
+    // The quotient scale follows the kernel set that will consume this
+    // table in shoup_mul_acc_lazy2 (64-bit convention for scalar/avx2/
+    // avx512, 52-bit for avx512ifma).
+    const unsigned shift = ctx_.kernels(j).shoup_shift;
     const u64* src = key_part.limb(j);
     u64* dst = out.limb(j);
     for (std::size_t x = 0; x < key_part.degree(); ++x) {
-      dst[x] = static_cast<u64>((static_cast<u128>(src[x]) << 64) / qj);
+      dst[x] = static_cast<u64>((static_cast<u128>(src[x]) << shift) / qj);
     }
   }
   return out;
@@ -368,6 +372,16 @@ HoistedKeySwitch::HoistedKeySwitch(const HeContext& ctx, const RnsPoly& c,
   auto limb_coeffs = [&](std::size_t i) {
     return cbase != nullptr ? cbase + i * n_ : coeff_src->limb(i);
   };
+  // Digit transforms use the LAZY-OUTPUT forward NTT: the final [0, p)
+  // correction sweep is skipped and digit limbs stay in [0, 4p).  Both
+  // consumers tolerate that — shoup_mul_acc_lazy2 accepts any redundant
+  // residue (any 64-bit value on the 64-convention tiers, anything below
+  // 2^52 on avx512ifma, and 4p < 2^52 holds at its p < 2^50 dispatch
+  // bound), and the 128-bit fallback re-reduces on the fly in apply().
+  // Every gadget-digit transform therefore drops one full pass over the
+  // polynomial.  Final key-switch outputs stay bit-identical to canonical
+  // digits: the accumulated lanes are fully reduced by add_reduce2p, and
+  // congruent-mod-p inputs land on the same canonical result.
   if (decomp_bits == 0) {
     // CRT digits: digit(i, j) = (c mod q_i) mod q_j.  The diagonal is the
     // residue itself — for NTT-form input its transform is limb i verbatim,
@@ -375,9 +389,9 @@ HoistedKeySwitch::HoistedKeySwitch(const HeContext& ctx, const RnsPoly& c,
     // q_i < 4*q_j (always, for same-width prime sets) the explicit
     // re-reduction folds into that transform for free: the lazy forward
     // butterflies accept any input below 4p (first-stage conditional
-    // subtract), and since the NTT is linear mod q_j its fully-reduced
-    // output on the raw residues is bit-identical to reducing first.
-    // reduce_span covers the general q_i >= 4*q_j case.
+    // subtract), and since the NTT is linear mod q_j its output on the raw
+    // residues is congruent to reducing first.  reduce_span covers the
+    // general q_i >= 4*q_j case.
     parallel_for(0, k_ * k_, n_ * 40, [&](std::size_t u) {
       const std::size_t i = u / k_;
       const std::size_t j = u % k_;
@@ -394,7 +408,7 @@ HoistedKeySwitch::HoistedKeySwitch(const HeContext& ctx, const RnsPoly& c,
         const Barrett& br = ctx_.barrett(j);
         ctx_.kernels(j).reduce_span(dst, src, n_, br.modulus(), br.ratio_hi());
       }
-      ctx_.ntt(j).forward(dst);
+      ctx_.ntt(j).forward_lazy_out(dst);
     });
   } else {
     // Sub-digits: digit (i, shift) holds ((c mod q_i) >> shift) & mask —
@@ -410,7 +424,7 @@ HoistedKeySwitch::HoistedKeySwitch(const HeContext& ctx, const RnsPoly& c,
       for (std::size_t x = 0; x < n_; ++x) {
         dst[x] = (src[x] >> shift) & mask;
       }
-      ctx_.ntt(j).forward(dst);
+      ctx_.ntt(j).forward_lazy_out(dst);
     });
   }
 }
@@ -461,10 +475,17 @@ void HoistedKeySwitch::apply(u64 elt, const KSwitchKey& key, RnsPoly& acc0,
       return;
     }
     // mul_acc_lazy accumulates one unreduced 128-bit product per digit per
-    // lane; the closing Barrett sweep needs the sum below q_j * 2^64.
-    // Every stored digit limb is fully reduced mod q_j (forward-NTT
-    // output), so digits * q_j < 2^64 is exact.  The Shoup path above has
-    // no such bound (its accumulators never leave [0, 2p)).
+    // lane; the closing Barrett sweep needs the sum below q_j * 2^64, i.e.
+    // every digit limb fully reduced mod q_j so digits * q_j < 2^64 is
+    // exact.  Lazy-staged digits live in [0, 4p) and would break that
+    // bound, so this fallback canonicalizes each limb first (one
+    // reduce_span pass — exactly the pass the Shoup path above saves; its
+    // accumulators never leave [0, 2p) and need no bound at all).  The
+    // shared digits_ stay untouched, so a hoisted set re-canonicalizes
+    // once per apply() — acceptable on this path: it only serves keys
+    // without precomputed quotients (every key this library generates
+    // carries them), and mutating digits_ lazily would need cross-worker
+    // synchronization inside the rotation parallel_for.
     if (static_cast<u128>(digit_count_) * br.modulus() >=
         (static_cast<u128>(1) << 64)) {
       throw std::invalid_argument(
@@ -472,6 +493,14 @@ void HoistedKeySwitch::apply(u64 elt, const KSwitchKey& key, RnsPoly& acc0,
           "128-bit lazy accumulation bound; regenerate the key with Shoup "
           "tables or fewer/narrower digits");
     }
+    auto canon = table == nullptr ? arena.checkout(n_) : PolyArena::Scratch();
+    auto canonical_digit = [&](const u64* d) {
+      // Permuted digits already live in this thread's perm scratch;
+      // reduce_span may alias out == a, so reduce in place there.
+      u64* dst = table != nullptr ? perm.data() : canon.data();
+      kern.reduce_span(dst, d, n_, br.modulus(), br.ratio_hi());
+      return static_cast<const u64*>(dst);
+    };
     auto lo_b = arena.checkout(n_);
     auto hi_b = arena.checkout(n_);
     auto lo_a = arena.checkout(n_);
@@ -481,7 +510,7 @@ void HoistedKeySwitch::apply(u64 elt, const KSwitchKey& key, RnsPoly& acc0,
     lo_a.zero();
     hi_a.zero();
     for (std::size_t f = 0; f < digit_count_; ++f) {
-      const u64* d = permute(digit(f, j));
+      const u64* d = canonical_digit(permute(digit(f, j)));
       kern.mul_acc_lazy(lo_b.data(), hi_b.data(), d, key.b[f].limb(j), n_);
       kern.mul_acc_lazy(lo_a.data(), hi_a.data(), d, key.a[f].limb(j), n_);
     }

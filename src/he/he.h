@@ -180,6 +180,12 @@ class HoistedKeySwitch {
   std::size_t n_ = 0;
   std::uint32_t decomp_bits_ = 0;
   std::size_t digit_count_ = 0;
+  // Digit limbs are transformed with the lazy-output forward NTT and live
+  // in the redundant range [0, 4p) (congruent to the canonical transform;
+  // the decomp_bits == 0 diagonal reuses canonical ciphertext limbs) — the
+  // Shoup-lazy accumulation consumes them directly, saving one full
+  // correction pass per digit limb.  The 128-bit fallback path reduces
+  // them on the fly (see apply()).
   PolyArena::Scratch digits_;  // digit_count_ x k limbs, digit-major, NTT
 };
 

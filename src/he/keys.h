@@ -40,10 +40,12 @@ struct KSwitchKey {
   // sub-digit (shift) within the limb.
   std::vector<RnsPoly> b;
   std::vector<RnsPoly> a;
-  // Elementwise Shoup quotients floor(elem * 2^64 / q_j) of b / a — the key
-  // limbs are the fixed operand of every key-switch product, so the
-  // quotients are precomputed once at keygen and the hot loop accumulates
-  // division-free products in [0, 2p) (kernel shoup_mul_acc_lazy).
+  // Elementwise Shoup quotients floor(elem * 2^shift / q_j) of b / a, where
+  // shift is the consuming kernel set's shoup_shift (64 for scalar/avx2/
+  // avx512, 52 for avx512ifma) — the key limbs are the fixed operand of
+  // every key-switch product, so the quotients are precomputed once at
+  // keygen and the hot loop accumulates division-free products in [0, 2p)
+  // (kernel shoup_mul_acc_lazy2).
   std::vector<RnsPoly> b_shoup;
   std::vector<RnsPoly> a_shoup;
   // Sub-digit width this key was generated for (0 = one digit per limb).

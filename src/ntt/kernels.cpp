@@ -1,33 +1,52 @@
-// Kernel dispatch: compile-time availability (kernels_avx2.cpp), runtime
-// cpuid, the p < 2^61 modulus bound, and the PRIMER_NTT_KERNEL override.
+// Kernel dispatch: compile-time availability (kernels_avx2.cpp /
+// kernels_avx512.cpp), runtime cpuid, the per-tier modulus bounds, and the
+// PRIMER_NTT_KERNEL override.
 #include "ntt/kernels.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
+#include <string>
 
 namespace primer {
 
 namespace {
 
-bool cpu_has_avx2() {
+// __builtin_cpu_supports requires a literal argument, hence one probe per
+// feature.
 #if defined(__x86_64__) || defined(__i386__)
-  return __builtin_cpu_supports("avx2") != 0;
-#else
-  return false;
-#endif
+bool cpu_has_avx2() { return __builtin_cpu_supports("avx2") != 0; }
+bool cpu_has_avx512dq() {
+  return __builtin_cpu_supports("avx512f") != 0 &&
+         __builtin_cpu_supports("avx512dq") != 0;
 }
+bool cpu_has_avx512ifma() {
+  return cpu_has_avx512dq() && __builtin_cpu_supports("avx512ifma") != 0;
+}
+#else
+bool cpu_has_avx2() { return false; }
+bool cpu_has_avx512dq() { return false; }
+bool cpu_has_avx512ifma() { return false; }
+#endif
 
-void warn_once(bool& flag, const char* msg) {
-  if (!flag) {
-    flag = true;
+// One-time warning per distinct condition (dispatch may run concurrently
+// from parallel Ntt constructions).
+void warn_once(std::atomic<bool>& flag, const char* msg) {
+  if (!flag.exchange(true, std::memory_order_relaxed)) {
     std::fprintf(stderr, "primer: %s\n", msg);
   }
 }
 
-// The AVX2 lazy butterflies need 4p < 2^64 and the vector Barrett product
-// needs 5p of headroom; p < 2^61 covers both with margin.
-constexpr u64 kAvx2ModulusBound = u64{1} << 61;
+// The AVX2/AVX512-DQ lazy butterflies need 4p < 2^64 and the vector Barrett
+// product needs 5p of headroom; p < 2^61 covers both with margin.
+constexpr u64 kLazyModulusBound = u64{1} << 61;
+
+// The IFMA butterflies multiply lazy values in [0, 4p) with vpmadd52, whose
+// operands must fit 52 bits: 4p < 2^52, i.e. p < 2^50.  Moduli in
+// [2^50, 2^52) stay on the DQ tier.
+constexpr u64 kIfmaModulusBound = u64{1} << 50;
 
 }  // namespace
 
@@ -36,26 +55,61 @@ bool avx2_available() {
   return ok;
 }
 
+bool avx512_available() {
+  static const bool ok = avx512_kernel() != nullptr && cpu_has_avx512dq();
+  return ok;
+}
+
+bool avx512ifma_available() {
+  static const bool ok =
+      avx512ifma_kernel() != nullptr && cpu_has_avx512ifma();
+  return ok;
+}
+
 const NttKernel& dispatch_kernel(u64 p) {
-  static bool warned_unavailable = false;
-  static bool warned_unknown = false;
-  const bool avx2_ok = avx2_available() && p < kAvx2ModulusBound;
+  const bool avx2_ok = avx2_available() && p < kLazyModulusBound;
+  const bool avx512_ok = avx512_available() && p < kLazyModulusBound;
+  const bool ifma_ok = avx512ifma_available() && p < kIfmaModulusBound;
   const char* env = std::getenv("PRIMER_NTT_KERNEL");
   if (env != nullptr && *env != '\0') {
+    // The fallback warning fires once per REQUESTED value: a sweep that
+    // asks for avx512 and later avx512ifma reports each miss separately.
+    static std::atomic<bool> warned_avx2{false};
+    static std::atomic<bool> warned_avx512{false};
+    static std::atomic<bool> warned_ifma{false};
     if (std::strcmp(env, "scalar") == 0) return scalar_kernel();
     if (std::strcmp(env, "avx2") == 0) {
       if (avx2_ok) return *avx2_kernel();
-      warn_once(warned_unavailable,
+      warn_once(warned_avx2,
                 "PRIMER_NTT_KERNEL=avx2 requested but unavailable "
                 "(not compiled in, no CPU support, or modulus >= 2^61); "
                 "falling back to scalar kernels");
       return scalar_kernel();
     }
-    warn_once(warned_unknown,
-              "PRIMER_NTT_KERNEL: unknown value (expected scalar|avx2); "
-              "using automatic dispatch");
+    if (std::strcmp(env, "avx512") == 0) {
+      if (avx512_ok) return *avx512_kernel();
+      warn_once(warned_avx512,
+                "PRIMER_NTT_KERNEL=avx512 requested but unavailable "
+                "(not compiled in, no CPU support, or modulus >= 2^61); "
+                "falling back to scalar kernels");
+      return scalar_kernel();
+    }
+    if (std::strcmp(env, "avx512ifma") == 0) {
+      if (ifma_ok) return *avx512ifma_kernel();
+      warn_once(warned_ifma,
+                "PRIMER_NTT_KERNEL=avx512ifma requested but unavailable "
+                "(not compiled in, no CPU support, or modulus >= 2^50); "
+                "falling back to scalar kernels");
+      return scalar_kernel();
+    }
+    throw std::invalid_argument(
+        std::string("PRIMER_NTT_KERNEL: unknown value \"") + env +
+        "\" (valid: scalar|avx2|avx512|avx512ifma)");
   }
-  return avx2_ok ? *avx2_kernel() : scalar_kernel();
+  if (ifma_ok) return *avx512ifma_kernel();
+  if (avx512_ok) return *avx512_kernel();
+  if (avx2_ok) return *avx2_kernel();
+  return scalar_kernel();
 }
 
 }  // namespace primer

@@ -2,21 +2,39 @@
 //
 // A kernel set is a table of function pointers implementing the negacyclic
 // NTT butterflies and the elementwise RNS limb operations on raw u64 spans.
-// Two implementations exist: a portable scalar one and an AVX2 one
-// (kernels_avx2.cpp, compiled with -mavx2 when the toolchain supports it).
-// Both use HEXL-style lazy reduction internally — butterfly values live in
+// Four implementations exist:
+//   scalar      — portable reference (always available)
+//   avx2        — 4-lane, 32x32 partial products (kernels_avx2.cpp, -mavx2)
+//   avx512      — 8-lane, AVX512-DQ vpmullq low-half products
+//                 (kernels_avx512.cpp, -mavx512f -mavx512dq)
+//   avx512ifma  — avx512 with the NTT butterflies and Shoup-lazy
+//                 accumulation rebuilt on vpmadd52 52-bit multiply-adds
+//                 (same TU, -mavx512ifma); requires 4p < 2^52, i.e. p < 2^50
+// All use HEXL-style lazy reduction internally — butterfly values live in
 // the redundant range [0, 4p) (forward) / [0, 2p) (inverse) and a single
 // correction sweep at the end brings them back to [0, p) — so every kernel
-// FULLY REDUCES its outputs and the scalar and AVX2 paths are bit-identical
-// (enforced by tests/test_ntt_kernels.cpp).  The protocol therefore stays
-// deterministic across machines regardless of which kernel dispatch picks.
+// FULLY REDUCES its outputs and all tiers are bit-identical (enforced by
+// tests/test_ntt_kernels.cpp).  The protocol therefore stays deterministic
+// across machines regardless of which kernel dispatch picks.
 //
-// Dispatch: dispatch_kernel(p) returns the AVX2 set when (a) the binary was
-// built with AVX2 support, (b) the CPU reports it, and (c) p < 2^61 (the
-// lazy/Barrett bounds need headroom above 4p); otherwise the scalar set.
-// The PRIMER_NTT_KERNEL environment variable (values: "scalar", "avx2")
-// overrides the choice for testing; an unavailable request falls back to
-// scalar with a one-time warning.
+// Shoup quotient convention: each kernel set declares `shoup_shift` — the
+// scale of every precomputed quotient it consumes (twiddle tables, key
+// Shoup tables, scalar_mul operands): floor(w * 2^shoup_shift / p).  The
+// scalar/avx2/avx512 tiers use 64 (one 64x64 high-half multiply per Shoup
+// product); avx512ifma uses 52 so the quotient estimate is a single
+// vpmadd52hi.  Table builders (Ntt, KeyGenerator::shoup_table,
+// HeContext::scalar_multiply_inplace) must honor the shift of the kernel
+// set that will consume the table.
+//
+// Dispatch: dispatch_kernel(p) picks the widest tier that (a) was compiled
+// in, (b) the CPU reports, and (c) whose modulus bound admits p — p < 2^61
+// for avx2/avx512 (the lazy/Barrett bounds need headroom above 4p),
+// p < 2^50 for avx512ifma (every lazy intermediate must fit 52 bits).  The
+// PRIMER_NTT_KERNEL environment variable (values: "scalar", "avx2",
+// "avx512", "avx512ifma") overrides the choice for testing; an unavailable
+// request falls back to scalar with a one-time warning per requested
+// value, and an unknown value throws std::invalid_argument listing the
+// valid names.
 #pragma once
 
 #include <cstddef>
@@ -101,10 +119,25 @@ class AlignedU64 {
 struct NttKernel {
   const char* name;
 
+  // Scale of every precomputed Shoup quotient this set consumes:
+  // floor(w * 2^shoup_shift / p).  64 for the scalar/avx2/avx512 tiers, 52
+  // for avx512ifma.  Twiddle tables, key Shoup tables, and scalar_mul
+  // operands are NOT interchangeable across sets with different shifts.
+  std::uint32_t shoup_shift;
+
   // In-place forward negacyclic NTT (Cooley–Tukey DIT, merged psi powers).
-  // Input in [0, p), output fully reduced in [0, p).
+  // Input may be anywhere in [0, 4p) (the first-stage conditional subtract
+  // absorbs lazy inputs); output fully reduced in [0, p).
   void (*fwd_ntt)(u64* a, std::size_t n, const u64* w, const u64* w_shoup,
                   u64 p);
+  // Forward NTT without the final [0, p) correction sweep: same butterfly
+  // walk as fwd_ntt, output left in the lazy range [0, 4p).  The output is
+  // congruent to fwd_ntt's limb for limb but NOT canonical — callers must
+  // feed it only to consumers that accept redundant residues (reduce_span,
+  // shoup_mul_acc_lazy2) or reduce it themselves.  Key-switch digit
+  // transforms use this to drop one full pass per digit limb.
+  void (*fwd_ntt_lazy)(u64* a, std::size_t n, const u64* w,
+                       const u64* w_shoup, u64 p);
   // In-place inverse transform (Gentleman–Sande), including the 1/n scaling.
   void (*inv_ntt)(u64* a, std::size_t n, const u64* w, const u64* w_shoup,
                   u64 n_inv, u64 n_inv_shoup, u64 p);
@@ -143,12 +176,15 @@ struct NttKernel {
   // Dual-stream Shoup-lazy accumulate: acc0[i] += a[i] * w0[i] mod⁺ p and
   // acc1[i] += a[i] * w1[i] mod⁺ p in one pass over the shared operand `a`
   // (the key-switch digit, consumed by the key's b and a limbs together).
-  // w*_shoup[i] holds floor(w*[i] * 2^64 / p), precomputed at keygen for
-  // the fixed key streams.  Each product lands in [0, 2p) with no division
-  // and a single conditional subtraction keeps the accumulators in [0, 2p)
-  // — the running sums never widen past 64 bits regardless of how many
-  // digits accumulate.  Requires w*[i] < p and acc* in [0, 2p) on entry;
-  // `a` may be any 64-bit values.
+  // w*_shoup[i] holds floor(w*[i] * 2^shoup_shift / p), precomputed at
+  // keygen for the fixed key streams in this kernel set's convention.
+  // Each product lands in [0, 2p) with no division and a single
+  // conditional subtraction keeps the accumulators in [0, 2p) — the
+  // running sums never widen past 64 bits regardless of how many digits
+  // accumulate.  Requires w*[i] < p and acc* in [0, 2p) on entry; `a` may
+  // be any 64-bit values on the 64-convention tiers, any value below 2^52
+  // on avx512ifma (lazy forward-NTT digits in [0, 4p) qualify at its
+  // p < 2^50 bound).
   void (*shoup_mul_acc_lazy2)(u64* acc0, u64* acc1, const u64* a,
                               const u64* w0, const u64* w0_shoup,
                               const u64* w1, const u64* w1_shoup,
@@ -169,6 +205,23 @@ const NttKernel* avx2_kernel();
 
 // True when the AVX2 kernels are compiled in and the CPU supports AVX2.
 bool avx2_available();
+
+// The AVX512-DQ kernels, or nullptr when compiled without AVX512F+DQ
+// support.  Runtime CPU support is NOT checked here — use dispatch_kernel().
+const NttKernel* avx512_kernel();
+
+// True when the AVX512-DQ kernels are compiled in and the CPU reports
+// AVX512F + AVX512DQ.
+bool avx512_available();
+
+// The AVX512-IFMA sub-table (52-bit Shoup convention, vpmadd52 butterflies;
+// non-IFMA entries shared with the DQ tier), or nullptr when compiled
+// without AVX512IFMA support.  Only valid for moduli p < 2^50.
+const NttKernel* avx512ifma_kernel();
+
+// True when the IFMA kernels are compiled in and the CPU reports
+// AVX512F + AVX512DQ + AVX512IFMA.
+bool avx512ifma_available();
 
 // Kernel set for arithmetic modulo p, honoring PRIMER_NTT_KERNEL.  The env
 // variable is re-read on every call so tests can toggle it between Ntt

@@ -108,10 +108,12 @@ inline __m256i spread_pair(const u64* w) {
   return _mm256_permute4x64_epi64(_mm256_castsi128_si256(pair), 0x50);
 }
 
-void fwd_ntt_avx2(u64* a, std::size_t n, const u64* w, const u64* w_shoup,
-                  u64 p) {
+// Butterfly walk shared by fwd_ntt_avx2 (fully reduced) and
+// fwd_ntt_lazy_avx2 (output left in [0, 4p)).
+void fwd_ntt_lazy_avx2(u64* a, std::size_t n, const u64* w,
+                       const u64* w_shoup, u64 p) {
   if (n < 8) {
-    scalar_kernel().fwd_ntt(a, n, w, w_shoup, p);
+    scalar_kernel().fwd_ntt_lazy(a, n, w, w_shoup, p);
     return;
   }
   const __m256i vp = bcast(p);
@@ -168,8 +170,18 @@ void fwd_ntt_avx2(u64* a, std::size_t n, const u64* w, const u64* w_shoup,
     store4(base, _mm256_unpacklo_epi64(X, Y));
     store4(base + 4, _mm256_unpackhi_epi64(X, Y));
   }
+}
 
+void fwd_ntt_avx2(u64* a, std::size_t n, const u64* w, const u64* w_shoup,
+                  u64 p) {
+  if (n < 8) {
+    scalar_kernel().fwd_ntt(a, n, w, w_shoup, p);
+    return;
+  }
+  fwd_ntt_lazy_avx2(a, n, w, w_shoup, p);
   // Single correction sweep: [0, 4p) -> [0, p).
+  const __m256i vp = bcast(p);
+  const __m256i v2p = bcast(2 * p);
   for (std::size_t j = 0; j < n; j += 4) {
     __m256i x = load4(a + j);
     x = csub(x, v2p);
@@ -477,10 +489,22 @@ void add_reduce2p_avx2(u64* out, const u64* a, const u64* b, std::size_t n,
 }
 
 const NttKernel kAvx2Kernel = {
-    "avx2",   fwd_ntt_avx2, inv_ntt_avx2, add_avx2,      sub_avx2,
-    neg_avx2, mul_avx2,     mul_acc_avx2, scalar_mul_avx2,
-    reduce_span_avx2, mul_acc_lazy_avx2, reduce_acc_span_avx2,
-    shoup_mul_acc_lazy2_avx2, add_reduce2p_avx2,
+    .name = "avx2",
+    .shoup_shift = 64,
+    .fwd_ntt = fwd_ntt_avx2,
+    .fwd_ntt_lazy = fwd_ntt_lazy_avx2,
+    .inv_ntt = inv_ntt_avx2,
+    .add = add_avx2,
+    .sub = sub_avx2,
+    .neg = neg_avx2,
+    .mul = mul_avx2,
+    .mul_acc = mul_acc_avx2,
+    .scalar_mul = scalar_mul_avx2,
+    .reduce_span = reduce_span_avx2,
+    .mul_acc_lazy = mul_acc_lazy_avx2,
+    .reduce_acc_span = reduce_acc_span_avx2,
+    .shoup_mul_acc_lazy2 = shoup_mul_acc_lazy2_avx2,
+    .add_reduce2p = add_reduce2p_avx2,
 };
 
 }  // namespace

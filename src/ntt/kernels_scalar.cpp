@@ -18,8 +18,10 @@ inline u64 shoup_lazy(u64 x, u64 w, u64 w_shoup, u64 p) {
   return w * x - q * p;
 }
 
-void fwd_ntt_scalar(u64* a, std::size_t n, const u64* w, const u64* w_shoup,
-                    u64 p) {
+// The butterfly walk shared by fwd_ntt (which fully reduces afterwards) and
+// fwd_ntt_lazy (which leaves values in [0, 4p)).
+void fwd_ntt_lazy_scalar(u64* a, std::size_t n, const u64* w,
+                         const u64* w_shoup, u64 p) {
   const u64 two_p = 2 * p;
   std::size_t t = n;
   for (std::size_t m = 1; m < n; m <<= 1) {
@@ -37,6 +39,12 @@ void fwd_ntt_scalar(u64* a, std::size_t n, const u64* w, const u64* w_shoup,
       }
     }
   }
+}
+
+void fwd_ntt_scalar(u64* a, std::size_t n, const u64* w, const u64* w_shoup,
+                    u64 p) {
+  fwd_ntt_lazy_scalar(a, n, w, w_shoup, p);
+  const u64 two_p = 2 * p;
   for (std::size_t j = 0; j < n; ++j) {
     u64 x = a[j];
     if (x >= two_p) x -= two_p;
@@ -170,10 +178,22 @@ void add_reduce2p_scalar(u64* out, const u64* a, const u64* b, std::size_t n,
 }
 
 const NttKernel kScalarKernel = {
-    "scalar",        fwd_ntt_scalar, inv_ntt_scalar, add_scalar,
-    sub_scalar,      neg_scalar,     mul_scalar,     mul_acc_scalar,
-    scalar_mul_scalar, reduce_span_scalar, mul_acc_lazy_scalar,
-    reduce_acc_span_scalar, shoup_mul_acc_lazy2_scalar, add_reduce2p_scalar,
+    .name = "scalar",
+    .shoup_shift = 64,
+    .fwd_ntt = fwd_ntt_scalar,
+    .fwd_ntt_lazy = fwd_ntt_lazy_scalar,
+    .inv_ntt = inv_ntt_scalar,
+    .add = add_scalar,
+    .sub = sub_scalar,
+    .neg = neg_scalar,
+    .mul = mul_scalar,
+    .mul_acc = mul_acc_scalar,
+    .scalar_mul = scalar_mul_scalar,
+    .reduce_span = reduce_span_scalar,
+    .mul_acc_lazy = mul_acc_lazy_scalar,
+    .reduce_acc_span = reduce_acc_span_scalar,
+    .shoup_mul_acc_lazy2 = shoup_mul_acc_lazy2_scalar,
+    .add_reduce2p = add_reduce2p_scalar,
 };
 
 }  // namespace

@@ -123,14 +123,21 @@ class Barrett {
 // mul_shoup(x) computes w*x mod m with one 64x64 high-half multiply and one
 // subtraction.  This is the standard trick that makes software NTTs fast
 // (used by SEAL, HElib, HEXL).
+//
+// The quotient scale is parameterizable: the default 64 matches the
+// scalar/AVX2/AVX512-DQ kernels (floor(w * 2^64 / m), one 64x64 high-half
+// multiply per product); the AVX512-IFMA kernels use 52 so the quotient
+// estimate is a single vpmadd52hi (see NttKernel::shoup_shift).  mul()
+// assumes the default 64-bit scale — kernel tables built with another
+// shift must only be consumed by the matching kernel set.
 struct ShoupMul {
   u64 operand = 0;  // w
-  u64 quotient = 0; // floor(w * 2^64 / m)
+  u64 quotient = 0; // floor(w * 2^shift / m)
 
   ShoupMul() = default;
-  ShoupMul(u64 w, u64 m)
+  ShoupMul(u64 w, u64 m, unsigned shift = 64)
       : operand(w),
-        quotient(static_cast<u64>((static_cast<u128>(w) << 64) / m)) {}
+        quotient(static_cast<u64>((static_cast<u128>(w) << shift) / m)) {}
 
   u64 mul(u64 x, u64 m) const {
     const u64 hi = static_cast<u64>((static_cast<u128>(x) * quotient) >> 64);

@@ -36,11 +36,14 @@ Ntt::Ntt(std::size_t n, u64 p)
   fwd_wq_.assign(n, 0);
   inv_w_.assign(n, 0);
   inv_wq_.assign(n, 0);
+  // Twiddle quotients follow the bound kernel's Shoup convention (64-bit
+  // high-half for scalar/avx2/avx512, 52-bit vpmadd52hi for avx512ifma).
+  const unsigned shift = kernel_->shoup_shift;
   u64 power = 1, power_inv = 1;
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t rev = bit_reverse(i, log_n_);
-    const ShoupMul f(power, p);
-    const ShoupMul g(power_inv, p);
+    const ShoupMul f(power, p, shift);
+    const ShoupMul g(power_inv, p, shift);
     fwd_w_[rev] = f.operand;
     fwd_wq_[rev] = f.quotient;
     inv_w_[rev] = g.operand;
@@ -48,7 +51,7 @@ Ntt::Ntt(std::size_t n, u64 p)
     power = mul_mod(power, psi, p);
     power_inv = mul_mod(power_inv, psi_inv, p);
   }
-  const ShoupMul ninv(inv_mod(static_cast<u64>(n), p), p);
+  const ShoupMul ninv(inv_mod(static_cast<u64>(n), p), p, shift);
   n_inv_ = ninv.operand;
   n_inv_shoup_ = ninv.quotient;
 }

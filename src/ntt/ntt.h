@@ -9,11 +9,13 @@
 // Gentleman–Sande (inverse) pair with Shoup lazy multiplication.
 //
 // The butterfly loops themselves live in the kernel layer (ntt/kernels.h):
-// each Ntt binds to a kernel set at construction (scalar or AVX2, chosen by
-// runtime dispatch / PRIMER_NTT_KERNEL) and stores its twiddles as separate
-// operand/quotient arrays in 64-byte-aligned memory so the vector kernels
-// stream contiguous cache lines.  All kernels fully reduce their outputs, so
-// results are bit-identical across kernel choices.
+// each Ntt binds to a kernel set at construction (scalar, AVX2, AVX-512 DQ,
+// or AVX-512 IFMA, chosen by runtime dispatch / PRIMER_NTT_KERNEL) and
+// stores its twiddles as separate operand/quotient arrays in 64-byte-aligned
+// memory, built in the bound kernel's Shoup quotient convention
+// (NttKernel::shoup_shift), so the vector kernels stream contiguous cache
+// lines.  All kernels fully reduce their outputs, so results are
+// bit-identical across kernel choices.
 #pragma once
 
 #include <cstdint>
@@ -44,7 +46,8 @@ class Ntt {
 
   std::size_t degree() const { return n_; }
   u64 modulus() const { return p_; }
-  // Name of the kernel set this transform dispatches to ("scalar", "avx2").
+  // Name of the kernel set this transform dispatches to ("scalar", "avx2",
+  // "avx512", "avx512ifma").
   const char* kernel_name() const { return kernel_->name; }
 
   // In-place forward negacyclic NTT (coefficient -> evaluation domain) over
@@ -52,6 +55,15 @@ class Ntt {
   // check, memory streamed directly by the kernel.
   void forward(u64* a) const {
     kernel_->fwd_ntt(a, n_, fwd_w_.data(), fwd_wq_.data(), p_);
+  }
+
+  // Forward transform WITHOUT the final [0, p) correction sweep: output is
+  // congruent to forward() limb for limb but lives in the lazy range
+  // [0, 4p).  Consumers must accept redundant residues (reduce_span,
+  // shoup_mul_acc_lazy2) — the key-switch digit staging uses this to skip
+  // one full pass over every digit polynomial.
+  void forward_lazy_out(u64* a) const {
+    kernel_->fwd_ntt_lazy(a, n_, fwd_w_.data(), fwd_wq_.data(), p_);
   }
 
   // In-place inverse transform (evaluation -> coefficient domain).

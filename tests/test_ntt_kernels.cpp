@@ -1,7 +1,10 @@
-// Kernel-layer tests: randomized scalar-vs-AVX2 bit-equality across the
-// primes.cpp moduli sweep and degrees 2^10..2^13, the 128-bit Barrett
-// reduction, the PRIMER_NTT_KERNEL dispatch override, and the RnsPoly
-// flat-layout / serialization round-trip.
+// Kernel-layer tests: randomized bit-equality of every vector tier (avx2,
+// avx512, avx512ifma) against the scalar reference across the primes.cpp
+// moduli sweep and degrees 2^10..2^13, a full-table property test at the
+// dispatch-boundary moduli (2^50 for IFMA, 2^52, 2^61 for the lazy bound),
+// the lazy-output forward NTT contract, the 128-bit Barrett reduction, the
+// PRIMER_NTT_KERNEL dispatch override, and the RnsPoly flat-layout /
+// serialization round-trip.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -71,6 +74,25 @@ std::vector<u64> moduli_sweep(std::size_t n) {
     out.push_back(generate_ntt_primes(bits, n, 1)[0]);
   }
   return out;
+}
+
+// Kernel tiers whose availability and modulus bound admit p, by their
+// PRIMER_NTT_KERNEL names.  Mirrors the dispatch_kernel gating: the lazy /
+// Barrett headroom bound 2^61 for avx2/avx512, 4p < 2^52 (p < 2^50) for
+// avx512ifma.
+std::vector<const char*> tiers_for(u64 p) {
+  std::vector<const char*> out = {"scalar"};
+  if (avx2_available() && p < (u64{1} << 61)) out.push_back("avx2");
+  if (avx512_available() && p < (u64{1} << 61)) out.push_back("avx512");
+  if (avx512ifma_available() && p < (u64{1} << 50)) {
+    out.push_back("avx512ifma");
+  }
+  return out;
+}
+
+// Shoup quotient in a kernel set's convention (floor(w * 2^shift / p)).
+u64 shoup_quotient(u64 w, u64 p, std::uint32_t shift) {
+  return static_cast<u64>((static_cast<u128>(w) << shift) / p);
 }
 
 TEST(Kernels, ScalarAvx2NttBitEquality) {
@@ -272,6 +294,167 @@ TEST(Kernels, ForwardNttAcceptsLazyInputsBitExact) {
   }
 }
 
+// Full-kernel-table bit-equality property test at the dispatch-boundary
+// moduli: just below/above the IFMA bound 2^50, just below/above 2^52 (the
+// sub-52-bit ceiling the IFMA convention is built around), and just below
+// the 2^61 lazy bound.  Every tier whose bound admits the modulus must
+// produce outputs bit-identical to scalar; Shoup-lazy accumulator lanes are
+// compared after canonicalization because the [0, 2p) representatives may
+// legitimately differ across quotient conventions.
+TEST(Kernels, KernelTableBitEqualityAtDispatchBoundaries) {
+  Rng rng(29);
+  const std::size_t n = 1024;
+  for (int bits : {40, 50, 51, 52, 53, 60, 61}) {
+    const u64 p = generate_ntt_primes(bits, n, 1)[0];
+    const Barrett br(p);
+    // Scalar reference transforms and inputs.
+    const auto poly = random_poly(rng, n, p);
+    std::vector<u64> fwd_ref = poly;
+    {
+      ScopedEnv env("PRIMER_NTT_KERNEL", "scalar");
+      const Ntt ntt(n, p);
+      ntt.forward(fwd_ref.data());
+    }
+    auto a = random_poly(rng, n, p);
+    auto b = random_poly(rng, n, p);
+    a[0] = 0;
+    b[0] = 0;
+    a[1] = p - 1;
+    b[1] = p - 1;
+    // Digit-shaped inputs for the Shoup-lazy accumulation: the key-switch
+    // feeds lazy forward-NTT outputs in [0, 4p) (on the IFMA tier those
+    // are < 2^52 by its p < 2^50 bound — the tier's input contract).
+    std::vector<u64> digits(n);
+    rng.fill_uniform_mod(digits, 4 * p - 1);
+    std::vector<u64> wide(n);
+    for (auto& v : wide) {
+      v = (rng.uniform(u64{1} << 32) << 32) | rng.uniform(u64{1} << 32);
+    }
+
+    const NttKernel& sc = scalar_kernel();
+    std::vector<u64> out_sc(n), out_k(n);
+    for (const char* tier : tiers_for(p)) {
+      if (std::strcmp(tier, "scalar") == 0) continue;
+      ScopedEnv env("PRIMER_NTT_KERNEL", tier);
+      const Ntt ntt(n, p);
+      ASSERT_STREQ(ntt.kernel_name(), tier) << "bits=" << bits;
+      const NttKernel& kern = ntt.kernel();
+
+      // Transforms: fully reduced outputs must match scalar exactly.
+      std::vector<u64> f = poly;
+      ntt.forward(f.data());
+      EXPECT_EQ(f, fwd_ref) << tier << " forward bits=" << bits;
+      EXPECT_TRUE(fully_reduced(f, p));
+      ntt.inverse(f.data());
+      EXPECT_EQ(f, poly) << tier << " round trip bits=" << bits;
+
+      // Convention-free elementwise table vs scalar, bit for bit.
+      sc.add(out_sc.data(), a.data(), b.data(), n, p);
+      kern.add(out_k.data(), a.data(), b.data(), n, p);
+      EXPECT_EQ(out_sc, out_k) << tier << " add bits=" << bits;
+      sc.sub(out_sc.data(), a.data(), b.data(), n, p);
+      kern.sub(out_k.data(), a.data(), b.data(), n, p);
+      EXPECT_EQ(out_sc, out_k) << tier << " sub bits=" << bits;
+      sc.neg(out_sc.data(), a.data(), n, p);
+      kern.neg(out_k.data(), a.data(), n, p);
+      EXPECT_EQ(out_sc, out_k) << tier << " neg bits=" << bits;
+      sc.mul(out_sc.data(), a.data(), b.data(), n, p, br.ratio_hi(),
+             br.ratio_lo());
+      kern.mul(out_k.data(), a.data(), b.data(), n, p, br.ratio_hi(),
+               br.ratio_lo());
+      EXPECT_EQ(out_sc, out_k) << tier << " mul bits=" << bits;
+      auto acc_sc = a;
+      auto acc_k = a;
+      sc.mul_acc(acc_sc.data(), a.data(), b.data(), n, p, br.ratio_hi(),
+                 br.ratio_lo());
+      kern.mul_acc(acc_k.data(), a.data(), b.data(), n, p, br.ratio_hi(),
+                   br.ratio_lo());
+      EXPECT_EQ(acc_sc, acc_k) << tier << " mul_acc bits=" << bits;
+      sc.reduce_span(out_sc.data(), wide.data(), n, p, br.ratio_hi());
+      kern.reduce_span(out_k.data(), wide.data(), n, p, br.ratio_hi());
+      EXPECT_EQ(out_sc, out_k) << tier << " reduce_span bits=" << bits;
+      std::vector<u64> lo_sc(n, 0), hi_sc(n, 0), lo_k(n, 0), hi_k(n, 0);
+      for (int d = 0; d < 3; ++d) {
+        sc.mul_acc_lazy(lo_sc.data(), hi_sc.data(), a.data(), b.data(), n);
+        kern.mul_acc_lazy(lo_k.data(), hi_k.data(), a.data(), b.data(), n);
+      }
+      EXPECT_EQ(lo_sc, lo_k) << tier << " mul_acc_lazy bits=" << bits;
+      EXPECT_EQ(hi_sc, hi_k) << tier << " mul_acc_lazy hi bits=" << bits;
+      sc.reduce_acc_span(out_sc.data(), lo_sc.data(), hi_sc.data(), n, p,
+                         br.ratio_hi(), br.ratio_lo());
+      kern.reduce_acc_span(out_k.data(), lo_k.data(), hi_k.data(), n, p,
+                           br.ratio_hi(), br.ratio_lo());
+      EXPECT_EQ(out_sc, out_k) << tier << " reduce_acc_span bits=" << bits;
+      sc.add_reduce2p(out_sc.data(), a.data(), digits.data(), n, p);
+      kern.add_reduce2p(out_k.data(), a.data(), digits.data(), n, p);
+      EXPECT_EQ(out_sc, out_k) << tier << " add_reduce2p bits=" << bits;
+
+      // Shoup ops: tables in the tier's own convention; fully reduced
+      // outputs must equal naive modular arithmetic.
+      const u64 w = b[3] % p;
+      kern.scalar_mul(out_k.data(), a.data(), n, w,
+                      shoup_quotient(w, p, kern.shoup_shift), p);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(out_k[i], mul_mod(w, a[i], p))
+            << tier << " scalar_mul i=" << i << " bits=" << bits;
+      }
+      std::vector<u64> w0(n), w0q(n), w1(n), w1q(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        w0[i] = a[i] % p;
+        w1[i] = b[i] % p;
+        w0q[i] = shoup_quotient(w0[i], p, kern.shoup_shift);
+        w1q[i] = shoup_quotient(w1[i], p, kern.shoup_shift);
+      }
+      std::vector<u64> lane0(n, 0), lane1(n, 0);
+      for (int d = 0; d < 3; ++d) {
+        kern.shoup_mul_acc_lazy2(lane0.data(), lane1.data(), digits.data(),
+                                 w0.data(), w0q.data(), w1.data(), w1q.data(),
+                                 n, p);
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        // Canonicalize the [0, 2p) lanes: representatives may differ
+        // across Shoup conventions, residues may not.
+        u64 l0 = lane0[i] >= p ? lane0[i] - p : lane0[i];
+        u64 l1 = lane1[i] >= p ? lane1[i] - p : lane1[i];
+        const u64 x = br.reduce(digits[i]);
+        const u64 p0 = mul_mod(w0[i], x, p);
+        const u64 p1 = mul_mod(w1[i], x, p);
+        ASSERT_EQ(l0, add_mod(add_mod(p0, p0, p), p0, p))
+            << tier << " shoup lane0 i=" << i << " bits=" << bits;
+        ASSERT_EQ(l1, add_mod(add_mod(p1, p1, p), p1, p))
+            << tier << " shoup lane1 i=" << i << " bits=" << bits;
+      }
+    }
+  }
+}
+
+// forward_lazy_out must be congruent to forward limb for limb — one
+// reduce_span pass over the lazy output reproduces the canonical transform
+// exactly, on every tier, including the n < 16 scalar-fallback shapes.
+TEST(Kernels, ForwardLazyOutThenReduceEqualsForward) {
+  Rng rng(31);
+  for (const std::size_t n : {std::size_t{8}, std::size_t{64},
+                              std::size_t{1024}}) {
+    for (u64 p : moduli_sweep(1024)) {  // 2*1024 | p-1 => 2n | p-1 for n<=1024
+      const Barrett br(p);
+      for (const char* tier : tiers_for(p)) {
+        ScopedEnv env("PRIMER_NTT_KERNEL", tier);
+        const Ntt ntt(n, p);
+        ASSERT_STREQ(ntt.kernel_name(), tier);
+        auto want = random_poly(rng, n, p);
+        auto lazy = want;
+        ntt.forward(want.data());
+        ntt.forward_lazy_out(lazy.data());
+        // The lazy output stays in [0, 4p).
+        for (u64 x : lazy) ASSERT_LT(x, 4 * p);
+        ntt.kernel().reduce_span(lazy.data(), lazy.data(), n, p,
+                                 br.ratio_hi());
+        EXPECT_EQ(lazy, want) << tier << " n=" << n << " p=" << p;
+      }
+    }
+  }
+}
+
 TEST(Kernels, NegacyclicMultiplyAgreesAcrossKernels) {
   if (!avx2_available()) GTEST_SKIP() << "AVX2 kernels unavailable";
   Rng rng(13);
@@ -325,7 +508,7 @@ TEST(Kernels, BarrettReduce128MatchesNaive) {
 
 TEST(Kernels, DispatchHonorsEnvOverrideAndModulusBound) {
   const std::size_t n = 1024;
-  const u64 p = generate_ntt_primes(45, n, 1)[0];
+  const u64 p = generate_ntt_primes(45, n, 1)[0];  // within every bound
   {
     ScopedEnv env("PRIMER_NTT_KERNEL", "scalar");
     EXPECT_STREQ(Ntt(n, p).kernel_name(), "scalar");
@@ -336,14 +519,49 @@ TEST(Kernels, DispatchHonorsEnvOverrideAndModulusBound) {
                  avx2_available() ? "avx2" : "scalar");
   }
   {
-    ScopedEnv env("PRIMER_NTT_KERNEL", nullptr);  // automatic dispatch
+    ScopedEnv env("PRIMER_NTT_KERNEL", "avx512");
     EXPECT_STREQ(Ntt(n, p).kernel_name(),
-                 avx2_available() ? "avx2" : "scalar");
+                 avx512_available() ? "avx512" : "scalar");
   }
-  // Moduli at or above 2^61 must never take the vector path (the lazy
+  {
+    ScopedEnv env("PRIMER_NTT_KERNEL", "avx512ifma");
+    EXPECT_STREQ(Ntt(n, p).kernel_name(),
+                 avx512ifma_available() ? "avx512ifma" : "scalar");
+  }
+  {
+    // Automatic dispatch: widest available tier whose bound admits p.
+    ScopedEnv env("PRIMER_NTT_KERNEL", nullptr);
+    const char* want = avx512ifma_available() ? "avx512ifma"
+                       : avx512_available()   ? "avx512"
+                       : avx2_available()     ? "avx2"
+                                              : "scalar";
+    EXPECT_STREQ(Ntt(n, p).kernel_name(), want);
+  }
+  {
+    // Unknown values are rejected loudly, not silently mapped to scalar.
+    ScopedEnv env("PRIMER_NTT_KERNEL", "neon");
+    EXPECT_THROW((void)Ntt(n, p), std::invalid_argument);
+  }
+  // The IFMA tier requires 4p < 2^52: a 51-bit prime (>= 2^50) must fall
+  // back even when the CPU has IFMA — explicitly requested or automatic.
+  const u64 p51 = generate_ntt_primes(51, n, 1)[0];
+  ASSERT_GE(p51, u64{1} << 50);
+  {
+    ScopedEnv env("PRIMER_NTT_KERNEL", "avx512ifma");
+    EXPECT_STREQ(Ntt(n, p51).kernel_name(), "scalar");
+  }
+  {
+    ScopedEnv env("PRIMER_NTT_KERNEL", nullptr);
+    const char* want = avx512_available() ? "avx512"
+                       : avx2_available() ? "avx2"
+                                          : "scalar";
+    EXPECT_STREQ(Ntt(n, p51).kernel_name(), want);
+  }
+  // Moduli at or above 2^61 must never take any vector path (the lazy
   // ranges would overflow): a 62-bit prime lies in [2^61, 2^62).
   const u64 big = generate_ntt_primes(62, n, 1)[0];
   ASSERT_GE(big, u64{1} << 61);
+  ScopedEnv env("PRIMER_NTT_KERNEL", nullptr);
   EXPECT_STREQ(Ntt(n, big).kernel_name(), "scalar");
 }
 

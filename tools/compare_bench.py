@@ -11,11 +11,17 @@ from base falls back to the base entry with kernel="" (output from commits
 that predate the --kernel sweep), so the gate keeps working across the
 schema transition.  A benchmark regresses when its head ops_per_s drops
 more than --max-regress below base.  Benchmarks present on only one side
-are reported but never fail the check (the set changes as the suite grows)
-— however, if NO benchmark matches at all the script fails: an empty
-comparison means the gate is not checking anything (e.g. a bench rename
-broke the keying), and that must be loud, not green.  --only restricts the
-failing set to bench names with the given prefix (e.g. "ntt" for the NTT
+are reported but never fail the check (the set changes as the suite grows).
+A MISSING base file, one with no parseable JSON lines, or a base with no
+benchmarks under the --only prefix is a warning, not a failure (exit 0):
+first-run baselines — a BENCH_*.json snapshot or bench family that does
+not exist yet, like a freshly added kernel sweep — must not break the
+bench-trajectory job.  A missing or empty HEAD still fails (the benchmark
+run itself broke), and when the base DOES carry the gated bench family but
+nothing matches, the script fails too: an empty comparison over real data
+means the gate is not checking anything (e.g. a bench rename broke the
+keying), and that must be loud, not green.  --only restricts the failing
+set to bench names with the given prefix (e.g. "ntt" for the NTT
 trajectory); everything else is reported as informational.
 """
 
@@ -26,7 +32,12 @@ import sys
 
 def load(path):
     out = {}
-    with open(path) as f:
+    try:
+        f = open(path)
+    except OSError as e:
+        print(f"compare_bench: cannot read {path}: {e}", file=sys.stderr)
+        return None
+    with f:
         for line in f:
             line = line.strip()
             if not line.startswith("JSON "):
@@ -54,9 +65,20 @@ def main():
 
     base = load(args.base)
     head = load(args.head)
-    if not base or not head:
-        print("compare_bench: empty input (no JSON lines found)",
+    # A missing or empty BASE is a warning, not a failure: a baseline that
+    # does not exist yet (first run of a new bench suite) is not a
+    # regression.  The HEAD side gets no such leniency — an empty head
+    # means the benchmark run itself broke, and a gate comparing nothing
+    # must be loud, not green.
+    if base is None or not base:
+        print("compare_bench: base input missing or has no JSON benchmark "
+              "lines; nothing to compare (treating as first-run baseline)",
               file=sys.stderr)
+        return 0
+    if head is None or not head:
+        print("compare_bench: head input missing or empty — the benchmark "
+              "run produced no JSON lines; refusing to pass an empty "
+              "comparison", file=sys.stderr)
         return 2
 
     failures = []
@@ -91,6 +113,18 @@ def main():
               f"{base[key]['ops_per_s']:>12.1f} {'(gone)':>12}")
 
     if matched == 0:
+        # Distinguish "the base predates this bench suite" (first-run
+        # baseline: every gated head bench is new — warn, stay green) from
+        # "both sides have this suite but nothing matched" (the keying
+        # broke — must be loud).
+        def gated(keys):
+            return [k for k in keys
+                    if args.only is None or k[0].startswith(args.only)]
+        if not gated(base):
+            print("\ncompare_bench: base has no benchmarks"
+                  + (f" with prefix '{args.only}'" if args.only else "")
+                  + "; treating as first-run baseline", file=sys.stderr)
+            return 0
         print("\ncompare_bench: no benchmark matched between base and head — "
               "the regression gate is checking nothing (keying broke?)",
               file=sys.stderr)
