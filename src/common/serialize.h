@@ -99,14 +99,14 @@ class ByteReader {
   void bytes(void* out, std::size_t n) { extract(out, n); }
 
   std::vector<std::uint64_t> vec_u64() {
-    const auto n = u64();
+    const auto n = check_count(u64(), sizeof(std::uint64_t));
     std::vector<std::uint64_t> v(n);
     if (n) extract(v.data(), n * sizeof(std::uint64_t));
     return v;
   }
 
   std::vector<std::int64_t> vec_i64() {
-    const auto n = u64();
+    const auto n = check_count(u64(), sizeof(std::int64_t));
     std::vector<std::int64_t> v(n);
     if (n) extract(v.data(), n * sizeof(std::int64_t));
     return v;
@@ -123,11 +123,29 @@ class ByteReader {
   }
 
  private:
+  // Overflow-safe bounds check: `pos_ + n` can wrap for a hostile n, so
+  // compare against the remaining span instead.
   void check(std::size_t n) const {
-    if (pos_ + n > limit_) {
-      throw std::out_of_range("ByteReader: truncated message (" +
-                              std::to_string(n) + " bytes past end)");
+    if (n > limit_ - pos_) {
+      throw std::out_of_range(
+          "ByteReader: truncated message (need " + std::to_string(n) +
+          " bytes at offset " + std::to_string(pos_) + ", only " +
+          std::to_string(limit_ - pos_) + " remain)");
     }
+  }
+
+  // Validates a wire-supplied element count before the vector allocation:
+  // `count * elem_size` must not overflow and must fit in the remaining
+  // bytes, or a 64-bit length field could demand a wild allocation.
+  std::uint64_t check_count(std::uint64_t count, std::size_t elem_size) const {
+    if (count > (limit_ - pos_) / elem_size) {
+      throw std::out_of_range(
+          "ByteReader: vector length " + std::to_string(count) + " (x" +
+          std::to_string(elem_size) + " bytes) at offset " +
+          std::to_string(pos_) + " exceeds the " +
+          std::to_string(limit_ - pos_) + " remaining bytes");
+    }
+    return count;
   }
 
   void extract(void* out, std::size_t n) {

@@ -4,9 +4,11 @@
 // offline/online latency split.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <ctime>
+#include <limits>
 #include <map>
 #include <string>
 
@@ -68,6 +70,13 @@ struct PhaseCost {
   std::uint64_t he_rotations = 0;
   std::uint64_t he_adds = 0;
   std::uint64_t gc_and_gates = 0;
+  // Retry-layer traffic (frames resent after injected faults plus their
+  // bytes, control requests included in bytes_sent already).
+  std::uint64_t retransmits = 0;
+  std::uint64_t retransmit_bytes = 0;
+  // Smallest estimated noise budget (bits) observed at any decryption in
+  // this step; +inf when the step decrypted nothing.
+  double min_noise_margin_bits = std::numeric_limits<double>::infinity();
 
   double total_seconds() const { return compute_seconds + network_seconds; }
 
@@ -82,6 +91,9 @@ struct PhaseCost {
     he_rotations += o.he_rotations;
     he_adds += o.he_adds;
     gc_and_gates += o.gc_and_gates;
+    retransmits += o.retransmits;
+    retransmit_bytes += o.retransmit_bytes;
+    min_noise_margin_bits = std::min(min_noise_margin_bits, o.min_noise_margin_bits);
     return *this;
   }
 };

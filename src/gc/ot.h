@@ -19,22 +19,26 @@
 #include <vector>
 
 #include "gc/garble.h"
-#include "net/channel.h"
+#include "net/framed_channel.h"
 
 namespace primer {
 
 class SimulatedOt {
  public:
-  explicit SimulatedOt(Channel& ch) : channel_(ch) {}
+  // Must share the FramedChannel of whatever protocol surrounds it — a
+  // second wrapper over the same Channel would fork the sequence spaces.
+  explicit SimulatedOt(FramedChannel& ch) : channel_(ch) {}
 
   // One-time IKNP setup traffic (call once per session).  Messages are
   // immediately drained by the in-process peer; only the accounting remains.
   void setup() {
     if (setup_done_) return;
-    channel_.send(Party::kClient, std::vector<std::uint8_t>(128 * 64));
-    channel_.recv(Party::kServer);
-    channel_.send(Party::kServer, std::vector<std::uint8_t>(128 * 32));
-    channel_.recv(Party::kClient);
+    channel_.send(Party::kClient, MessageKind::kOtSetup,
+                  std::vector<std::uint8_t>(128 * 64));
+    channel_.recv_expect(Party::kServer, MessageKind::kOtSetup);
+    channel_.send(Party::kServer, MessageKind::kOtSetup,
+                  std::vector<std::uint8_t>(128 * 32));
+    channel_.recv_expect(Party::kClient, MessageKind::kOtSetup);
     setup_done_ = true;
   }
 
@@ -46,11 +50,13 @@ class SimulatedOt {
     setup();
     const std::size_t m = choices.size();
     // Receiver's correction matrix columns.
-    channel_.send(Party::kClient, std::vector<std::uint8_t>(m * 16));
-    channel_.recv(Party::kServer);
+    channel_.send(Party::kClient, MessageKind::kOtReceiverColumns,
+                  std::vector<std::uint8_t>(m * 16));
+    channel_.recv_expect(Party::kServer, MessageKind::kOtReceiverColumns);
     // Sender's two masked labels per OT.
-    channel_.send(Party::kServer, std::vector<std::uint8_t>(m * 32));
-    channel_.recv(Party::kClient);
+    channel_.send(Party::kServer, MessageKind::kOtSenderMasked,
+                  std::vector<std::uint8_t>(m * 32));
+    channel_.recv_expect(Party::kClient, MessageKind::kOtSenderMasked);
     ++batches_;
     ots_ += m;
     std::vector<Label> out(m);
@@ -64,7 +70,7 @@ class SimulatedOt {
   std::uint64_t batch_count() const { return batches_; }
 
  private:
-  Channel& channel_;
+  FramedChannel& channel_;
   bool setup_done_ = false;
   std::uint64_t ots_ = 0;
   std::uint64_t batches_ = 0;

@@ -15,6 +15,11 @@ std::vector<std::uint8_t> pack_bits(const std::vector<bool>& bits) {
 
 std::vector<bool> unpack_bits(const std::vector<std::uint8_t>& bytes,
                               std::size_t count) {
+  if (bytes.size() < (count + 7) / 8) {
+    throw std::out_of_range("unpack_bits: " + std::to_string(bytes.size()) +
+                            " bytes cannot hold " + std::to_string(count) +
+                            " bits");
+  }
   std::vector<bool> out(count);
   for (std::size_t i = 0; i < count; ++i) {
     out[i] = (bytes[i / 8] >> (i % 8)) & 1;
@@ -44,8 +49,19 @@ std::vector<std::uint8_t> labels_to_bytes(const std::vector<Label>& labels) {
   return out;
 }
 
-std::vector<Label> labels_from_bytes(const std::vector<std::uint8_t>& bytes) {
-  std::vector<Label> out(bytes.size() / sizeof(Label));
+// Parses a wire payload into exactly `expected` labels; the frame layer has
+// already verified integrity, so a size mismatch here means the sender
+// framed the wrong thing — surface it as a malformed-payload error.
+std::vector<Label> labels_from_bytes(const std::vector<std::uint8_t>& bytes,
+                                     std::size_t expected, const char* what) {
+  if (bytes.size() != expected * sizeof(Label)) {
+    throw ProtocolError(ProtocolErrorKind::kMalformed,
+                        std::string(what) + ": payload of " +
+                            std::to_string(bytes.size()) +
+                            " bytes does not hold the expected " +
+                            std::to_string(expected) + " labels");
+  }
+  std::vector<Label> out(expected);
   std::memcpy(out.data(), bytes.data(), out.size() * sizeof(Label));
   return out;
 }
@@ -63,17 +79,27 @@ void GcSession::offline(const Circuit& circuit, RevealTo reveal) {
   stats_.table_bytes += gc_.table.byte_size();
 
   // Ship garbled tables to the evaluator, who parses them from the wire.
-  channel_.send(Party::kServer, labels_to_bytes(gc_.table.rows));
-  client_table_.rows = labels_from_bytes(channel_.recv(Party::kClient));
+  channel_.send(Party::kServer, MessageKind::kGcTables,
+                labels_to_bytes(gc_.table.rows));
+  client_table_.rows = labels_from_bytes(
+      channel_.recv_expect(Party::kClient, MessageKind::kGcTables),
+      gc_.table.rows.size(), "gc tables");
   if (reveal == RevealTo::kEvaluator || reveal == RevealTo::kBoth) {
     // Decode bits: lsb of each output wire's false label.
     std::vector<bool> decode(gc_.output_labels0.size());
     for (std::size_t i = 0; i < decode.size(); ++i) {
       decode[i] = gc_.output_labels0[i].lsb();
     }
-    channel_.send(Party::kServer, pack_bits(decode));
-    client_decode_ = unpack_bits(channel_.recv(Party::kClient),
-                                 gc_.output_labels0.size());
+    channel_.send(Party::kServer, MessageKind::kGcDecodeBits,
+                  pack_bits(decode));
+    try {
+      client_decode_ = unpack_bits(
+          channel_.recv_expect(Party::kClient, MessageKind::kGcDecodeBits),
+          gc_.output_labels0.size());
+    } catch (const std::out_of_range& e) {
+      throw ProtocolError(ProtocolErrorKind::kMalformed,
+                          std::string("gc decode bits: ") + e.what());
+    }
   }
   ot_.setup();  // base-OT traffic is part of the offline phase
   offline_done_ = true;
@@ -96,9 +122,12 @@ std::vector<bool> GcSession::online(const std::vector<bool>& garbler_bits,
   for (std::size_t i = 0; i < ng; ++i) {
     garbler_active[i] = Garbler::active_input(gc_, i, garbler_bits[i]);
   }
-  channel_.send(Party::kServer, labels_to_bytes(garbler_active));
+  channel_.send(Party::kServer, MessageKind::kGcGarblerLabels,
+                labels_to_bytes(garbler_active));
   {
-    const auto received = labels_from_bytes(channel_.recv(Party::kClient));
+    const auto received = labels_from_bytes(
+        channel_.recv_expect(Party::kClient, MessageKind::kGcGarblerLabels),
+        ng, "gc garbler labels");
     for (std::size_t i = 0; i < ng; ++i) active[i] = received[i];
   }
 
@@ -124,16 +153,18 @@ std::vector<bool> GcSession::online(const std::vector<bool>& garbler_bits,
       out[i] = out_labels[i].lsb() != client_decode_[i];
     }
     if (reveal_ == RevealTo::kBoth) {
-      channel_.send(Party::kClient, pack_bits(out));
-      channel_.recv(Party::kServer);
+      channel_.send(Party::kClient, MessageKind::kGcOutputBits,
+                    pack_bits(out));
+      channel_.recv_expect(Party::kServer, MessageKind::kGcOutputBits);
     }
   } else {
     // Reveal to garbler only: evaluator sends the active lsbs; the garbler
     // XORs with its stored permute bits.
     std::vector<bool> lsbs(out.size());
     for (std::size_t i = 0; i < out.size(); ++i) lsbs[i] = out_labels[i].lsb();
-    channel_.send(Party::kClient, pack_bits(lsbs));
-    channel_.recv(Party::kServer);
+    channel_.send(Party::kClient, MessageKind::kGcOutputBits,
+                  pack_bits(lsbs));
+    channel_.recv_expect(Party::kServer, MessageKind::kGcOutputBits);
     for (std::size_t i = 0; i < out.size(); ++i) {
       out[i] = lsbs[i] != gc_.output_labels0[i].lsb();
     }

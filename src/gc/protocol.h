@@ -15,7 +15,7 @@
 #include "common/timing.h"
 #include "gc/garble.h"
 #include "gc/ot.h"
-#include "net/channel.h"
+#include "net/framed_channel.h"
 
 namespace primer {
 
@@ -30,7 +30,10 @@ struct GcStats {
 
 class GcSession {
  public:
-  GcSession(Channel& channel, Rng& garbler_rng)
+  // Takes the session's FramedChannel (not the raw Channel): all parties on
+  // one wire must share a single framing layer or the per-direction
+  // sequence numbers desynchronize.
+  GcSession(FramedChannel& channel, Rng& garbler_rng)
       : channel_(channel), rng_(garbler_rng), ot_(channel) {}
 
   // Offline phase: garble and ship the tables (and, if the evaluator may
@@ -46,7 +49,7 @@ class GcSession {
   const GcStats& stats() const { return stats_; }
 
  private:
-  Channel& channel_;
+  FramedChannel& channel_;
   Rng& rng_;
   SimulatedOt ot_;
   Circuit circuit_;

@@ -205,6 +205,40 @@ RnsPoly Decryptor::dot_with_key_powers(const Ciphertext& ct) const {
 }
 
 Plaintext Decryptor::decrypt(const Ciphertext& ct) const {
+  double budget = estimated_budget(ct);
+  if (budget <= 0.0) {
+    // The tracked estimate is a worst-case screen and can exhaust on
+    // profiles whose q is deliberately undersized (kTest2048) while the
+    // actual noise is still fine.  Before refusing, measure the ground
+    // truth; the extra decryption pass is only paid on this rare path.
+    // A wrapped ciphertext measures within ~0.001 bits of the cliff (its
+    // noise is uniform mod q), so anything under 0.01 bits is garbage.
+    budget = noise_budget(ct);
+    if (budget < 0.01) {
+      throw NoiseBudgetExhausted(budget, ct.noise_log2);
+    }
+  }
+  record_margin(budget);
+  return decrypt_unchecked(ct);
+}
+
+double Decryptor::estimated_budget(const Ciphertext& ct) const {
+  return ctx_.params().log2_q() - 1.0 - ct.noise_log2;
+}
+
+void Decryptor::record_margin(double bits) const {
+  double cur = min_margin_.load(std::memory_order_relaxed);
+  while (bits < cur && !min_margin_.compare_exchange_weak(
+                           cur, bits, std::memory_order_relaxed)) {
+  }
+}
+
+double Decryptor::take_min_margin() const {
+  return min_margin_.exchange(std::numeric_limits<double>::infinity(),
+                              std::memory_order_relaxed);
+}
+
+Plaintext Decryptor::decrypt_unchecked(const Ciphertext& ct) const {
   RnsPoly acc = dot_with_key_powers(ct);
   const std::size_t n = ctx_.degree();
   const std::size_t k = ctx_.rns_size();
@@ -223,7 +257,9 @@ Plaintext Decryptor::decrypt(const Ciphertext& ct) const {
 
 double Decryptor::noise_budget(const Ciphertext& ct) const {
   RnsPoly acc = dot_with_key_powers(ct);
-  const Plaintext pt = decrypt(ct);
+  // Deliberately unchecked: this is the measurement path, and it must be
+  // able to inspect ciphertexts that are already past the cliff.
+  const Plaintext pt = decrypt_unchecked(ct);
   // noise = centered(acc) - m over the integers; since m < t << q, we can
   // subtract the lifted message per RNS component and measure the result.
   RnsPoly m = ctx_.lift_plaintext(pt);
@@ -247,6 +283,23 @@ double Decryptor::noise_budget(const Ciphertext& ct) const {
 
 Evaluator::Evaluator(const HeContext& ctx) : ctx_(ctx) {}
 
+
+namespace {
+
+// Tight worst-case bound for the noise of a sum: |e_a + e_b| <= |e_a| + |e_b|,
+// i.e. log2(2^a + 2^b).  The previous max(a,b)+1 recurrence is the same bound
+// for a single add, but applied along a k-term accumulation chain it compounds
+// to +k bits where the true triangle-inequality growth is +log2(k) — the
+// estimate went exponentially pessimistic exactly where the packed matmuls do
+// the most work.
+double noise_sum_log2(double a, double b) {
+  const double hi = std::max(a, b);
+  const double lo = std::min(a, b);
+  return hi + std::log2(1.0 + std::exp2(lo - hi));
+}
+
+}  // namespace
+
 void Evaluator::add_inplace(Ciphertext& a, const Ciphertext& b) const {
   ++counters_.adds;
   while (a.parts.size() < b.parts.size()) {
@@ -255,7 +308,7 @@ void Evaluator::add_inplace(Ciphertext& a, const Ciphertext& b) const {
   for (std::size_t i = 0; i < b.parts.size(); ++i) {
     ctx_.add_inplace(a.parts[i], b.parts[i]);
   }
-  a.noise_log2 = std::max(a.noise_log2, b.noise_log2) + 1.0;
+  a.noise_log2 = noise_sum_log2(a.noise_log2, b.noise_log2);
 }
 
 void Evaluator::sub_inplace(Ciphertext& a, const Ciphertext& b) const {
@@ -266,7 +319,7 @@ void Evaluator::sub_inplace(Ciphertext& a, const Ciphertext& b) const {
   for (std::size_t i = 0; i < b.parts.size(); ++i) {
     ctx_.sub_inplace(a.parts[i], b.parts[i]);
   }
-  a.noise_log2 = std::max(a.noise_log2, b.noise_log2) + 1.0;
+  a.noise_log2 = noise_sum_log2(a.noise_log2, b.noise_log2);
 }
 
 void Evaluator::negate_inplace(Ciphertext& a) const {
@@ -315,7 +368,7 @@ void Evaluator::multiply_plain_accumulate(Ciphertext& acc, const Ciphertext& a,
   const double term_noise = a.noise_log2 +
                             std::log2(static_cast<double>(ctx_.degree())) +
                             std::log2(static_cast<double>(ctx_.t()));
-  acc.noise_log2 = std::max(acc.noise_log2, term_noise) + 1.0;
+  acc.noise_log2 = noise_sum_log2(acc.noise_log2, term_noise);
 }
 
 Ciphertext Evaluator::multiply(const Ciphertext& a, const Ciphertext& b) const {
@@ -539,8 +592,8 @@ void Evaluator::relinearize_inplace(Ciphertext& a, const RelinKey& rk) const {
   // diagonal and only inverse-transforms once for the off-diagonal digits.
   key_switch(a.parts[2], rk.key, a.parts[0], a.parts[1]);
   a.parts.pop_back();
-  a.noise_log2 =
-      std::max(a.noise_log2, ctx_.kswitch_noise_log2(rk.key.decomp_bits));
+  a.noise_log2 = noise_sum_log2(a.noise_log2,
+                                ctx_.kswitch_noise_log2(rk.key.decomp_bits));
 }
 
 namespace {
@@ -548,7 +601,7 @@ namespace {
 // Rotation noise bound shared by the single and hoisted paths.
 double rotation_noise_log2(const HeContext& ctx, const KSwitchKey& key,
                            double in_noise) {
-  return std::max(in_noise, ctx.kswitch_noise_log2(key.decomp_bits));
+  return noise_sum_log2(in_noise, ctx.kswitch_noise_log2(key.decomp_bits));
 }
 
 }  // namespace
@@ -730,6 +783,13 @@ void Evaluator::serialize(const Ciphertext& ct, ByteWriter& w) const {
 Ciphertext Evaluator::deserialize(ByteReader& r) const {
   Ciphertext ct;
   const auto parts = r.u32();
+  // Legitimate ciphertexts have 2 parts (3 transiently, pre-relin); the
+  // degree-bounded maximum any evaluator op can emit is 4.  Anything else
+  // is a corrupted or hostile stream.
+  if (parts < 1 || parts > 4) {
+    throw std::out_of_range("deserialize: ciphertext part count " +
+                            std::to_string(parts) + " outside [1, 4]");
+  }
   for (std::uint32_t p = 0; p < parts; ++p) {
     const bool ntt_form = r.u8() != 0;
     const auto k = r.u32();
@@ -746,6 +806,14 @@ Ciphertext Evaluator::deserialize(ByteReader& r) const {
     ct.parts.push_back(std::move(poly));
   }
   ct.noise_log2 = r.f64();
+  // The noise estimate feeds the decrypt guard; a NaN/Inf or wildly
+  // out-of-range value from the wire would disarm it.
+  if (!std::isfinite(ct.noise_log2) || ct.noise_log2 < 0.0 ||
+      ct.noise_log2 > 2.0 * ctx_.params().log2_q()) {
+    throw std::out_of_range("deserialize: noise estimate " +
+                            std::to_string(ct.noise_log2) +
+                            " bits is not a sane value");
+  }
   return ct;
 }
 

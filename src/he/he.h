@@ -6,7 +6,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/arena.h"
@@ -112,21 +115,61 @@ class Encryptor {
   mutable HeOpCounters counters_;
 };
 
+// Thrown instead of returning silently-garbled plaintext when a ciphertext's
+// tracked noise estimate says the budget is spent.  Carries the numbers so
+// callers can report how far past the cliff the computation went.
+class NoiseBudgetExhausted : public std::runtime_error {
+ public:
+  NoiseBudgetExhausted(double estimated_budget_bits, double noise_log2_bits)
+      : std::runtime_error(
+            "NoiseBudgetExhausted: estimated noise budget " +
+            std::to_string(estimated_budget_bits) +
+            " bits (tracked noise ~2^" + std::to_string(noise_log2_bits) +
+            ") — decryption would be garbage"),
+        budget_(estimated_budget_bits),
+        noise_log2_(noise_log2_bits) {}
+
+  double estimated_budget_bits() const { return budget_; }
+  double noise_log2_bits() const { return noise_log2_; }
+
+ private:
+  double budget_;
+  double noise_log2_;
+};
+
 class Decryptor {
  public:
   Decryptor(const HeContext& ctx, const SecretKey& sk);
 
+  // Decrypts after validating the ciphertext's tracked noise estimate;
+  // throws NoiseBudgetExhausted when the estimated budget is gone rather
+  // than returning garbage.  Successful decryptions fold their margin into
+  // the min-margin telemetry (take_min_margin).
   Plaintext decrypt(const Ciphertext& ct) const;
 
-  // Remaining noise budget in bits: log2(q) - 1 - log2|t*e|.  Negative
-  // budget means decryption is no longer guaranteed correct.
+  // Remaining noise budget in bits measured from the actual decryption
+  // noise: log2(q) - 1 - log2|t*e|.  Negative budget means decryption is
+  // no longer guaranteed correct.
   double noise_budget(const Ciphertext& ct) const;
 
+  // Budget predicted from the per-op noise estimate the Evaluator
+  // maintains (ct.noise_log2) — conservative, no secret key math.
+  double estimated_budget(const Ciphertext& ct) const;
+
+  // Smallest estimated budget seen across decryptions since the last call;
+  // +inf when nothing was decrypted.  Thread-safe (decrypt runs under the
+  // thread pool) — this is the per-step noise margin the runtime reports.
+  double take_min_margin() const;
+
  private:
+  Plaintext decrypt_unchecked(const Ciphertext& ct) const;
   RnsPoly dot_with_key_powers(const Ciphertext& ct) const;
+  void record_margin(double bits) const;
 
   const HeContext& ctx_;
   const SecretKey& sk_;
+  mutable std::atomic<double> min_margin_{
+      std::numeric_limits<double>::infinity()};
 };
 
 // Hoisted key-switching — the standard trick fast HE libraries use to

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <deque>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace primer {
@@ -26,29 +27,37 @@ inline Party other(Party p) {
   return p == Party::kClient ? Party::kServer : Party::kClient;
 }
 
+inline const char* party_name(Party p) {
+  return p == Party::kClient ? "client" : "server";
+}
+
 class Channel {
  public:
   explicit Channel(NetworkModel model = NetworkModel{}) : model_(model) {}
 
   void send(Party from, std::vector<std::uint8_t> msg) {
     auto& q = queue_[static_cast<int>(other(from))];
-    bytes_sent_[static_cast<int>(from)] += msg.size();
-    ++messages_[static_cast<int>(from)];
-    // A new "flight" starts whenever the transmission direction changes;
-    // each flight pays the propagation delay once, all bytes pay bandwidth.
-    if (last_direction_ != static_cast<int>(from)) {
-      ++flights_;
-      last_direction_ = static_cast<int>(from);
-    }
-    simulated_seconds_ +=
-        static_cast<double>(msg.size()) / model_.bandwidth_bytes_per_s;
+    charge(from, msg.size());
     q.push_back(std::move(msg));
+  }
+
+  // Accounts control traffic (retransmit requests, acks) that the simulated
+  // transport exchanges out of band: the bytes, message count and flight
+  // pattern are charged exactly as a real message would be, but nothing is
+  // enqueued — the in-process peer must never mistake control chatter for a
+  // data frame.
+  void charge_control(Party from, std::size_t bytes) { charge(from, bytes); }
+
+  // Extra simulated latency (retry backoff, injected delivery delay).
+  void add_simulated_delay(double seconds) {
+    if (seconds > 0) simulated_seconds_ += seconds;
   }
 
   std::vector<std::uint8_t> recv(Party to) {
     auto& q = queue_[static_cast<int>(to)];
     if (q.empty()) {
-      throw std::runtime_error("Channel::recv: no pending message");
+      throw std::runtime_error(std::string("Channel::recv: no pending message for ") +
+                               party_name(to));
     }
     auto msg = std::move(q.front());
     q.pop_front();
@@ -101,6 +110,19 @@ class Channel {
   const NetworkModel& model() const { return model_; }
 
  private:
+  void charge(Party from, std::size_t bytes) {
+    bytes_sent_[static_cast<int>(from)] += bytes;
+    ++messages_[static_cast<int>(from)];
+    // A new "flight" starts whenever the transmission direction changes;
+    // each flight pays the propagation delay once, all bytes pay bandwidth.
+    if (last_direction_ != static_cast<int>(from)) {
+      ++flights_;
+      last_direction_ = static_cast<int>(from);
+    }
+    simulated_seconds_ +=
+        static_cast<double>(bytes) / model_.bandwidth_bytes_per_s;
+  }
+
   NetworkModel model_;
   std::deque<std::vector<std::uint8_t>> queue_[2];
   std::uint64_t bytes_sent_[2] = {0, 0};

@@ -1,0 +1,114 @@
+// CRC32C implementations: slice-by-8 tables (portable) and the SSE4.2
+// crc32 instruction (runtime-dispatched).  This TU is compiled with
+// -msse4.2 when the toolchain supports it (see CMakeLists); the runtime
+// cpuid check keeps baseline machines on the table path.
+#include "net/crc32c.h"
+
+#if defined(__SSE4_2__)
+#include <nmmintrin.h>
+#endif
+
+namespace primer {
+
+namespace {
+
+// CRC32C polynomial, reflected form.
+constexpr std::uint32_t kPoly = 0x82f63b78u;
+
+struct Tables {
+  std::uint32_t t[8][256];
+
+  Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = t[0][i];
+      for (int s = 1; s < 8; ++s) {
+        c = t[0][c & 0xff] ^ (c >> 8);
+        t[s][i] = c;
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+std::uint32_t crc_table(const std::uint8_t* p, std::size_t n,
+                        std::uint32_t crc) {
+  const Tables& tb = tables();
+  while (n != 0 && (reinterpret_cast<std::uintptr_t>(p) & 7) != 0) {
+    crc = tb.t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+    --n;
+  }
+  while (n >= 8) {
+    // One 8-byte slice per iteration, tables applied most-significant-first.
+    std::uint64_t w;
+    __builtin_memcpy(&w, p, 8);
+    w ^= crc;
+    crc = tb.t[7][w & 0xff] ^ tb.t[6][(w >> 8) & 0xff] ^
+          tb.t[5][(w >> 16) & 0xff] ^ tb.t[4][(w >> 24) & 0xff] ^
+          tb.t[3][(w >> 32) & 0xff] ^ tb.t[2][(w >> 40) & 0xff] ^
+          tb.t[1][(w >> 48) & 0xff] ^ tb.t[0][(w >> 56) & 0xff];
+    p += 8;
+    n -= 8;
+  }
+  while (n != 0) {
+    crc = tb.t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+    --n;
+  }
+  return crc;
+}
+
+#if defined(__SSE4_2__)
+std::uint32_t crc_hw(const std::uint8_t* p, std::size_t n, std::uint32_t crc) {
+  while (n != 0 && (reinterpret_cast<std::uintptr_t>(p) & 7) != 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --n;
+  }
+  std::uint64_t crc64 = crc;
+  while (n >= 8) {
+    std::uint64_t w;
+    __builtin_memcpy(&w, p, 8);
+    crc64 = _mm_crc32_u64(crc64, w);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<std::uint32_t>(crc64);
+  while (n != 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --n;
+  }
+  return crc;
+}
+#endif
+
+bool use_hw() {
+#if defined(__SSE4_2__)
+  static const bool hw = __builtin_cpu_supports("sse4.2");
+  return hw;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t n, std::uint32_t seed) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  // Standard pre/post inversion so crc(empty) == 0 and chaining works.
+  std::uint32_t crc = ~seed;
+#if defined(__SSE4_2__)
+  if (use_hw()) return ~crc_hw(p, n, crc);
+#endif
+  return ~crc_table(p, n, crc);
+}
+
+const char* crc32c_impl_name() { return use_hw() ? "sse4.2" : "table"; }
+
+}  // namespace primer

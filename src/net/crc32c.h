@@ -1,0 +1,25 @@
+// CRC32C (Castagnoli) over message payloads — the integrity check every
+// framed wire message carries (see net/frame.h).
+//
+// The polynomial matches iSCSI/ext4 and, more to the point, the SSE4.2
+// crc32 instruction, so the hot path is hardware-accelerated wherever the
+// CPU allows (runtime-dispatched, same scheme as the NTT kernel tiers); the
+// slice-by-8 table fallback keeps baseline builds correct.
+//
+// The function is chainable: crc32c(b, n, crc32c(a, m)) == crc of a||b,
+// which lets the framing layer checksum a header and a large payload
+// without concatenating them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace primer {
+
+// CRC32C of `data[0, n)`, continuing from `seed` (0 for a fresh message).
+std::uint32_t crc32c(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+// Name of the selected implementation ("sse4.2" or "table") — telemetry.
+const char* crc32c_impl_name();
+
+}  // namespace primer

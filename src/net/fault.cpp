@@ -1,0 +1,85 @@
+#include "net/fault.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace primer {
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  try {
+    return std::stod(v);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  try {
+    return static_cast<std::uint64_t>(std::stoull(v));
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+}  // namespace
+
+FaultSpec FaultSpec::from_env() {
+  FaultSpec s;
+  s.seed = env_u64("PRIMER_FAULT_SEED", s.seed);
+  s.drop = env_double("PRIMER_FAULT_DROP", s.drop);
+  s.duplicate = env_double("PRIMER_FAULT_DUP", s.duplicate);
+  s.reorder = env_double("PRIMER_FAULT_REORDER", s.reorder);
+  s.truncate = env_double("PRIMER_FAULT_TRUNCATE", s.truncate);
+  s.bitflip = env_double("PRIMER_FAULT_BITFLIP", s.bitflip);
+  s.delay = env_double("PRIMER_FAULT_DELAY", s.delay);
+  s.delay_s = env_double("PRIMER_FAULT_DELAY_S", s.delay_s);
+  return s;
+}
+
+bool FaultInjector::roll(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return rng_.uniform_real() < p;
+}
+
+FaultInjector::Outcome FaultInjector::apply(
+    const std::vector<std::uint8_t>& frame, bool allow_hold) {
+  Outcome out;
+  if (roll(spec_.delay)) {
+    ++counters_.delayed;
+    out.extra_delay_s += spec_.delay_s;
+  }
+  if (roll(spec_.drop)) {
+    ++counters_.dropped;
+    return out;
+  }
+  if (allow_hold && roll(spec_.reorder)) {
+    ++counters_.reordered;
+    out.held = frame;
+    out.has_held = true;
+    return out;
+  }
+  std::vector<std::uint8_t> copy = frame;
+  if (roll(spec_.truncate) && !copy.empty()) {
+    ++counters_.truncated;
+    // Cut anywhere strictly inside the frame, header included.
+    copy.resize(rng_.uniform(copy.size()));
+  } else if (roll(spec_.bitflip) && !copy.empty()) {
+    ++counters_.bitflipped;
+    const std::size_t byte = rng_.uniform(copy.size());
+    copy[byte] ^= static_cast<std::uint8_t>(1u << rng_.uniform(8));
+  }
+  const bool dup = roll(spec_.duplicate);
+  if (dup) ++counters_.duplicated;
+  out.deliver.push_back(std::move(copy));
+  if (dup) out.deliver.push_back(out.deliver.front());
+  return out;
+}
+
+}  // namespace primer

@@ -1,0 +1,92 @@
+// Deterministic, seeded fault injection for the framed transport.
+//
+// The injector sits between FramedChannel::send and the underlying
+// Channel: every outgoing frame is subjected to independent probability
+// rolls for drop / reorder / duplicate / truncate / bit-flip, plus an
+// additive delivery delay.  All randomness comes from one seeded Rng, so
+// any failure a soak run finds is replayable from its seed alone.
+//
+// Configuration is programmatic (FaultSpec) or environment-driven:
+//
+//   PRIMER_FAULT_SEED      u64 seed (default 1)
+//   PRIMER_FAULT_DROP      P(frame silently dropped)
+//   PRIMER_FAULT_DUP       P(frame delivered twice)
+//   PRIMER_FAULT_REORDER   P(frame held back past the next same-direction send)
+//   PRIMER_FAULT_TRUNCATE  P(frame cut short at a random byte)
+//   PRIMER_FAULT_BITFLIP   P(one random bit flipped)
+//   PRIMER_FAULT_DELAY     P(extra delivery delay charged)
+//   PRIMER_FAULT_DELAY_S   seconds of extra delay when the delay roll hits
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace primer {
+
+struct FaultSpec {
+  std::uint64_t seed = 1;
+  double drop = 0.0;
+  double duplicate = 0.0;
+  double reorder = 0.0;
+  double truncate = 0.0;
+  double bitflip = 0.0;
+  double delay = 0.0;
+  double delay_s = 0.01;
+
+  bool any() const {
+    return drop > 0 || duplicate > 0 || reorder > 0 || truncate > 0 ||
+           bitflip > 0 || delay > 0;
+  }
+
+  // Reads PRIMER_FAULT_* from the environment; unset knobs keep defaults.
+  static FaultSpec from_env();
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultSpec& spec)
+      : spec_(spec), rng_(spec.seed) {}
+
+  // What apply() decided to do with one outgoing frame.
+  struct Outcome {
+    // Frames to put on the wire now (possibly mutated copies; empty on drop
+    // or hold).  Two entries on duplication.
+    std::vector<std::vector<std::uint8_t>> deliver;
+    // Frame held back for reordering; the caller releases it after its next
+    // send in the same direction.
+    std::vector<std::uint8_t> held;
+    bool has_held = false;
+    double extra_delay_s = 0.0;
+  };
+
+  // Rolls the configured faults against `frame`.  `allow_hold` is false for
+  // retransmissions, where reordering again would defeat recovery.
+  Outcome apply(const std::vector<std::uint8_t>& frame, bool allow_hold);
+
+  struct Counters {
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t reordered = 0;
+    std::uint64_t truncated = 0;
+    std::uint64_t bitflipped = 0;
+    std::uint64_t delayed = 0;
+    std::uint64_t total() const {
+      return dropped + duplicated + reordered + truncated + bitflipped +
+             delayed;
+    }
+  };
+  const Counters& counters() const { return counters_; }
+
+  const FaultSpec& spec() const { return spec_; }
+
+ private:
+  bool roll(double p);
+
+  FaultSpec spec_;
+  Rng rng_;
+  Counters counters_;
+};
+
+}  // namespace primer

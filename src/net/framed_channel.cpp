@@ -1,0 +1,217 @@
+#include "net/framed_channel.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace primer {
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  try {
+    return std::stod(v);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  try {
+    return std::stoi(v);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+std::string describe(Party to, MessageKind expect) {
+  return std::string(party_name(to)) + " awaiting " +
+         message_kind_name(expect);
+}
+
+}  // namespace
+
+RetryPolicy RetryPolicy::from_env() {
+  RetryPolicy p;
+  p.max_attempts = std::max(0, env_int("PRIMER_RETRY_MAX", p.max_attempts));
+  p.backoff_s = env_double("PRIMER_RETRY_BACKOFF_S", p.backoff_s);
+  return p;
+}
+
+void FramedChannel::transmit(Party from, DirState& dir,
+                             std::vector<std::uint8_t> frame,
+                             bool allow_hold) {
+  if (!injector_.spec().any()) {
+    ch_.send(from, std::move(frame));
+    return;
+  }
+  FaultInjector::Outcome out = injector_.apply(frame, allow_hold);
+  ch_.add_simulated_delay(out.extra_delay_s);
+  for (auto& f : out.deliver) ch_.send(from, std::move(f));
+  if (out.has_held) {
+    dir.held = std::move(out.held);
+    dir.has_held = true;
+  }
+}
+
+void FramedChannel::send(Party from, MessageKind kind,
+                         const std::uint8_t* payload, std::size_t n) {
+  if (n > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::length_error("FramedChannel::send: payload of " +
+                            std::to_string(n) +
+                            " bytes exceeds the u32 length field");
+  }
+  DirState& dir = dir_[static_cast<int>(from)];
+  const std::uint64_t seq = dir.next_send_seq++;
+  std::vector<std::uint8_t> frame = encode_frame(kind, seq, payload, n);
+  ++stats_.frames_sent;
+  stats_.framing_bytes += FrameHeader::kWireSize;
+
+  // A frame the injector held back is released only after the *next* send
+  // in the same direction — that is what makes it a reordering.
+  std::vector<std::uint8_t> release;
+  bool has_release = dir.has_held;
+  if (has_release) {
+    release = std::move(dir.held);
+    dir.has_held = false;
+  }
+
+  if (injector_.spec().any()) {
+    // Keep a pristine copy for retransmission; delivery prunes it.
+    dir.unacked.emplace(seq, frame);
+    if (dir.unacked.size() > kUnackedCap) {
+      dir.unacked.erase(dir.unacked.begin());
+    }
+  }
+  transmit(from, dir, std::move(frame), /*allow_hold=*/true);
+  if (has_release) ch_.send(from, std::move(release));
+}
+
+std::vector<std::uint8_t> FramedChannel::deliver(
+    DirState& dir, std::uint64_t seq, MessageKind kind,
+    std::vector<std::uint8_t> payload, MessageKind expect,
+    const std::string& where) {
+  if (kind != expect) {
+    throw ProtocolError(ProtocolErrorKind::kKindMismatch,
+                        where + ": got " + message_kind_name(kind) +
+                            " frame seq " + std::to_string(seq));
+  }
+  dir.next_recv_seq = seq + 1;
+  // In-order delivery is an implicit ack for everything up to `seq`.
+  dir.unacked.erase(dir.unacked.begin(), dir.unacked.upper_bound(seq));
+  ++stats_.frames_delivered;
+  return payload;
+}
+
+void FramedChannel::request_retransmit(Party to, DirState& dir,
+                                       std::uint64_t want, int attempt) {
+  ++stats_.retry_rounds;
+  // The receiver's retransmit request is a header-sized control frame; it
+  // is charged to the cost model (bytes + flight pattern) but never
+  // enqueued — the in-process peer must not misread it as data.
+  ch_.charge_control(to, FrameHeader::kWireSize);
+  stats_.control_bytes += FrameHeader::kWireSize;
+  double backoff = policy_.backoff_s;
+  for (int r = 1; r < attempt && backoff < policy_.backoff_max_s; ++r) {
+    backoff *= 2.0;
+  }
+  ch_.add_simulated_delay(std::min(backoff, policy_.backoff_max_s));
+
+  // Resend every pristine frame at or past the gap that is not already
+  // stashed.  Retransmissions re-roll the injector but are never held for
+  // reordering — holding a recovery frame would defeat recovery.
+  const Party from = other(to);
+  for (const auto& [seq, frame] : dir.unacked) {
+    if (seq < want || dir.stash.count(seq) != 0) continue;
+    ++stats_.retransmit_frames;
+    stats_.retransmit_bytes += frame.size();
+    transmit(from, dir, frame, /*allow_hold=*/false);
+  }
+}
+
+std::vector<std::uint8_t> FramedChannel::recv_expect(Party to,
+                                                     MessageKind expect) {
+  DirState& dir = dir_[static_cast<int>(other(to))];
+  const std::string where = describe(to, expect);
+  int attempts = 0;
+  for (int iter = 0; iter < kMaxLoopIters; ++iter) {
+    const std::uint64_t want = dir.next_recv_seq;
+
+    auto stashed = dir.stash.find(want);
+    if (stashed != dir.stash.end()) {
+      MessageKind kind = stashed->second.first;
+      std::vector<std::uint8_t> payload = std::move(stashed->second.second);
+      dir.stash.erase(stashed);
+      return deliver(dir, want, kind, std::move(payload), expect, where);
+    }
+
+    if (ch_.has_pending(to)) {
+      std::vector<std::uint8_t> frame = ch_.recv(to);
+      FrameHeader h;
+      try {
+        h = parse_frame(frame, where);
+      } catch (const ProtocolError&) {
+        ++stats_.parse_failures;
+        if (policy_.max_attempts == 0) throw;
+        if (++attempts > policy_.max_attempts) {
+          throw ProtocolError(
+              ProtocolErrorKind::kRetriesExhausted,
+              where + ": gave up after " + std::to_string(policy_.max_attempts) +
+                  " retransmit rounds (last frame unparseable)");
+        }
+        request_retransmit(to, dir, want, attempts);
+        continue;
+      }
+      if (h.seq < want) {
+        // Duplicate or replayed frame.
+        if (policy_.max_attempts == 0) {
+          throw ProtocolError(ProtocolErrorKind::kSequenceGap,
+                              where + ": replayed " +
+                                  message_kind_name(h.kind) + " frame seq " +
+                                  std::to_string(h.seq) + " (expected seq " +
+                                  std::to_string(want) + ")");
+        }
+        ++stats_.duplicates_dropped;
+        continue;
+      }
+      std::vector<std::uint8_t> payload(frame.begin() + FrameHeader::kWireSize,
+                                        frame.end());
+      if (h.seq > want) {
+        dir.stash.emplace(h.seq,
+                          std::make_pair(h.kind, std::move(payload)));
+        continue;
+      }
+      return deliver(dir, want, h.kind, std::move(payload), expect, where);
+    }
+
+    // Nothing on the wire and the expected frame is not stashed: either a
+    // drop (recoverable from the pristine buffer) or the sender truly
+    // never sent it.
+    const bool can_retransmit = dir.unacked.lower_bound(want) != dir.unacked.end();
+    if (policy_.max_attempts == 0 || !can_retransmit) {
+      throw ProtocolError(ProtocolErrorKind::kSequenceGap,
+                          where + ": no pending frame (expected seq " +
+                              std::to_string(want) + ")");
+    }
+    if (attempts >= policy_.max_attempts) {
+      throw ProtocolError(ProtocolErrorKind::kRetriesExhausted,
+                          where + ": frame seq " + std::to_string(want) +
+                              " not recovered after " +
+                              std::to_string(attempts) +
+                              " retransmit rounds");
+    }
+    ++attempts;
+    request_retransmit(to, dir, want, attempts);
+  }
+  throw ProtocolError(ProtocolErrorKind::kRetriesExhausted,
+                      where + ": transport loop guard tripped after " +
+                          std::to_string(kMaxLoopIters) + " iterations");
+}
+
+}  // namespace primer

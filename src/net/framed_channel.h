@@ -1,0 +1,132 @@
+// FramedChannel: typed, integrity-checked, fault-tolerant transport.
+//
+// Wraps the raw simulated Channel so that every protocol message travels
+// as a checksummed frame (net/frame.h) with a per-direction sequence
+// number.  Receivers state what they are waiting for —
+// recv_expect(kind) — and get exactly one of:
+//
+//   * the payload bytes, bit-identical to what the sender framed, or
+//   * a typed ProtocolError naming the receiving party, the expected kind
+//     and the precise failure (truncation, checksum, kind mismatch,
+//     sequence gap, retries exhausted).
+//
+// A seeded FaultInjector (net/fault.h) can corrupt outgoing frames; the
+// bounded retry layer recovers from drops, duplicates and reorderings:
+// the receiver detects a gap, charges a control-frame "retransmit
+// request" to the cost model, backs off exponentially in simulated time,
+// and the pristine copy is resent from the per-direction retransmission
+// buffer.  Corruption (truncation / bit-flips) is unrecoverable by design
+// — the pristine buffer is only consulted for frames that never arrived —
+// and surfaces as a typed error instead.
+//
+// Both parties run in-process, so one FramedChannel instance carries both
+// directions; anything that shares the underlying Channel must share the
+// FramedChannel too, or the sequence spaces desynchronize.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/channel.h"
+#include "net/fault.h"
+#include "net/frame.h"
+
+namespace primer {
+
+struct RetryPolicy {
+  // Retransmit rounds per recv_expect before giving up.  Zero disables
+  // recovery entirely: the first defect throws — corruption-matrix mode.
+  int max_attempts = 8;
+  double backoff_s = 0.0005;      // first retry backoff (simulated seconds)
+  double backoff_max_s = 0.05;    // exponential backoff ceiling
+
+  // Reads PRIMER_RETRY_MAX / PRIMER_RETRY_BACKOFF_S; unset keeps defaults.
+  static RetryPolicy from_env();
+};
+
+class FramedChannel {
+ public:
+  explicit FramedChannel(Channel& ch)
+      : FramedChannel(ch, FaultSpec::from_env(), RetryPolicy::from_env()) {}
+
+  FramedChannel(Channel& ch, const FaultSpec& faults, const RetryPolicy& retry)
+      : ch_(ch), policy_(retry), injector_(faults) {}
+
+  void send(Party from, MessageKind kind, const std::uint8_t* payload,
+            std::size_t n);
+  void send(Party from, MessageKind kind,
+            const std::vector<std::uint8_t>& payload) {
+    send(from, kind, payload.data(), payload.size());
+  }
+
+  // Blocks (logically) until the next in-sequence frame for `to` is
+  // recovered, verifies it carries `expect`, and returns its payload.
+  std::vector<std::uint8_t> recv_expect(Party to, MessageKind expect);
+
+  struct Stats {
+    std::uint64_t frames_sent = 0;
+    std::uint64_t frames_delivered = 0;
+    std::uint64_t framing_bytes = 0;      // header overhead on the wire
+    std::uint64_t retransmit_frames = 0;  // frames resent by the retry layer
+    std::uint64_t retransmit_bytes = 0;
+    std::uint64_t control_bytes = 0;      // retransmit-request traffic
+    std::uint64_t retry_rounds = 0;
+    std::uint64_t duplicates_dropped = 0;
+    std::uint64_t parse_failures = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  const FaultInjector::Counters& fault_counters() const {
+    return injector_.counters();
+  }
+  const FaultSpec& fault_spec() const { return injector_.spec(); }
+  const RetryPolicy& retry_policy() const { return policy_; }
+
+  void set_fault_spec(const FaultSpec& spec) { injector_ = FaultInjector(spec); }
+  void set_retry_policy(const RetryPolicy& p) { policy_ = p; }
+
+  // Escape hatch for tests that need to place hand-crafted frames on the
+  // wire, and for accounting-only callers.
+  Channel& raw() { return ch_; }
+  const Channel& raw() const { return ch_; }
+
+ private:
+  struct DirState {
+    std::uint64_t next_send_seq = 0;
+    std::uint64_t next_recv_seq = 0;
+    // Pristine frames not yet known-delivered, by seq (retransmission
+    // source).  Only populated while fault injection is active.
+    std::map<std::uint64_t, std::vector<std::uint8_t>> unacked;
+    // Valid frames that arrived ahead of the expected sequence number.
+    std::map<std::uint64_t,
+             std::pair<MessageKind, std::vector<std::uint8_t>>>
+        stash;
+    // Frame held back by the injector, released after the next send in
+    // this direction (reordering).
+    std::vector<std::uint8_t> held;
+    bool has_held = false;
+  };
+
+  static constexpr std::size_t kUnackedCap = 128;
+  static constexpr int kMaxLoopIters = 4096;
+
+  void transmit(Party from, DirState& dir, std::vector<std::uint8_t> frame,
+                bool allow_hold);
+  std::vector<std::uint8_t> deliver(DirState& dir, std::uint64_t seq,
+                                    MessageKind kind,
+                                    std::vector<std::uint8_t> payload,
+                                    MessageKind expect,
+                                    const std::string& where);
+  void request_retransmit(Party to, DirState& dir, std::uint64_t want,
+                          int attempt);
+
+  Channel& ch_;
+  RetryPolicy policy_;
+  FaultInjector injector_;
+  DirState dir_[2];  // indexed by sending party
+  Stats stats_;
+};
+
+}  // namespace primer

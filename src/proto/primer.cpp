@@ -571,6 +571,11 @@ PrimerRunResult PrimerEngine::run(const std::vector<std::size_t>& tokens) {
   result.online_cpu_s = on_total.cpu_seconds;
   result.total_bytes = pc.channel.total_bytes();
   result.rounds = pc.channel.flights();
+  result.retransmits = pc.framed.stats().retransmit_frames;
+  result.retransmit_bytes = pc.framed.stats().retransmit_bytes;
+  PhaseCost grand = off_total;
+  grand += on_total;
+  result.min_noise_margin_bits = grand.min_noise_margin_bits;
   return result;
 }
 

@@ -40,6 +40,12 @@ struct PrimerRunResult {
   double online_cpu_s = 0;
   std::uint64_t total_bytes = 0;
   std::uint64_t rounds = 0;
+  // Transport robustness telemetry: frames resent by the retry layer (plus
+  // their bytes, charged to total_bytes already) and the smallest estimated
+  // noise budget any decryption ran with (+inf if nothing was decrypted).
+  std::uint64_t retransmits = 0;
+  std::uint64_t retransmit_bytes = 0;
+  double min_noise_margin_bits = 0;
   CostAccumulator costs;  // per step breakdown (Table II columns)
 
   double offline_total_s() const { return offline_compute_s + offline_network_s; }

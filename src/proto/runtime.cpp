@@ -29,6 +29,8 @@ void ProtocolContext::step(const std::string& phase,
                            const std::function<void()>& fn) {
   const auto net_before = channel.snapshot();
   const HeOpCounters he_before = eval.counters();
+  const FramedChannel::Stats framed_before = framed.stats();
+  dec.take_min_margin();  // reset so the step sees only its own margins
   CpuWallTimer timer;
   fn();
   const double secs = timer.wall_seconds();
@@ -45,6 +47,11 @@ void ProtocolContext::step(const std::string& phase,
   cost.he_ct_mults += now.ct_mults - he_before.ct_mults;
   cost.he_rotations += now.rotations - he_before.rotations;
   cost.he_adds += now.adds - he_before.adds;
+  const FramedChannel::Stats& fr = framed.stats();
+  cost.retransmits += fr.retransmit_frames - framed_before.retransmit_frames;
+  cost.retransmit_bytes += fr.retransmit_bytes - framed_before.retransmit_bytes;
+  cost.min_noise_margin_bits =
+      std::min(cost.min_noise_margin_bits, dec.take_min_margin());
 }
 
 void ProtocolContext::send_cts(Party from, const std::vector<Ciphertext>& cts) {
@@ -63,27 +70,43 @@ void ProtocolContext::send_cts(Party from, const std::vector<Ciphertext>& cts) {
     w.u32(static_cast<std::uint32_t>(wr.size()));
     w.bytes(wr.data().data(), wr.size());
   }
-  channel.send(from, w.take());
+  framed.send(from, MessageKind::kCiphertexts, w.take());
 }
 
 std::vector<Ciphertext> ProtocolContext::recv_cts(Party to) {
-  const auto bytes = channel.recv(to);
-  ByteReader r(bytes);
-  const auto count = r.u32();
-  // Scan the frame lengths, then decode every slice independently.
-  std::vector<std::size_t> begin(count), end(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    const auto len = r.u32();
-    begin[i] = r.position();
-    end[i] = begin[i] + len;
-    r.skip(len);
+  const auto bytes = framed.recv_expect(to, MessageKind::kCiphertexts);
+  try {
+    ByteReader r(bytes);
+    const auto count = r.u32();
+    // Each ciphertext costs at least a 4-byte length prefix, so any count
+    // beyond remaining/4 is a lie — reject before sizing the vectors.
+    if (count > r.remaining() / 4) {
+      throw std::out_of_range("recv_cts: ciphertext count " +
+                              std::to_string(count) + " exceeds payload");
+    }
+    // Scan the frame lengths, then decode every slice independently.
+    std::vector<std::size_t> begin(count), end(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const auto len = r.u32();
+      begin[i] = r.position();
+      end[i] = begin[i] + len;
+      r.skip(len);
+    }
+    std::vector<Ciphertext> cts(count);
+    parallel_for(0, count, [&](std::size_t i) {
+      ByteReader slice(bytes, begin[i], end[i]);
+      cts[i] = eval.deserialize(slice);
+    });
+    return cts;
+  } catch (const ProtocolError&) {
+    throw;
+  } catch (const std::exception& e) {
+    // The frame passed its checksum, so this is a structurally invalid
+    // payload (hostile sender or framing bug), not wire noise.
+    throw ProtocolError(ProtocolErrorKind::kMalformed,
+                        std::string(party_name(to)) +
+                            ": ciphertext payload rejected: " + e.what());
   }
-  std::vector<Ciphertext> cts(count);
-  parallel_for(0, count, [&](std::size_t i) {
-    ByteReader slice(bytes, begin[i], end[i]);
-    cts[i] = eval.deserialize(slice);
-  });
-  return cts;
 }
 
 void ProtocolContext::send_ring(Party from, const MatI& m) {
@@ -96,25 +119,34 @@ void ProtocolContext::send_ring(Party from, const MatI& m) {
   for (const auto v : m.data()) {
     w.bytes(&v, bytes_per);
   }
-  channel.send(from, w.take());
+  framed.send(from, MessageKind::kRingMatrix, w.take());
 }
 
 MatI ProtocolContext::recv_ring(Party to, std::size_t rows, std::size_t cols) {
-  const auto bytes = channel.recv(to);
-  ByteReader r(bytes);
-  const auto rr = r.u32();
-  const auto cc = r.u32();
-  if (rr != rows || cc != cols) {
-    throw std::runtime_error("recv_ring: shape mismatch");
+  const auto bytes = framed.recv_expect(to, MessageKind::kRingMatrix);
+  try {
+    ByteReader r(bytes);
+    const auto rr = r.u32();
+    const auto cc = r.u32();
+    if (rr != rows || cc != cols) {
+      throw std::runtime_error("recv_ring: shape " + std::to_string(rr) + "x" +
+                               std::to_string(cc) + ", expected " +
+                               std::to_string(rows) + "x" +
+                               std::to_string(cols));
+    }
+    MatI m(rows, cols);
+    const std::size_t bytes_per = (share_bits() + 7) / 8;
+    for (auto& v : m.data()) {
+      std::int64_t x = 0;
+      r.bytes(&x, bytes_per);
+      v = x;
+    }
+    return m;
+  } catch (const std::exception& e) {
+    throw ProtocolError(ProtocolErrorKind::kMalformed,
+                        std::string(party_name(to)) +
+                            ": ring-matrix payload rejected: " + e.what());
   }
-  MatI m(rows, cols);
-  const std::size_t bytes_per = (share_bits() + 7) / 8;
-  for (auto& v : m.data()) {
-    std::int64_t x = 0;
-    r.bytes(&x, bytes_per);
-    v = x;
-  }
-  return m;
 }
 
 std::vector<bool> ProtocolContext::ring_bits(const MatI& m) const {

@@ -18,6 +18,7 @@
 #include "he/encoder.h"
 #include "he/he.h"
 #include "net/channel.h"
+#include "net/framed_channel.h"
 #include "proto/packing.h"
 #include "ss/secret_share.h"
 
@@ -39,6 +40,11 @@ class ProtocolContext {
   GaloisKeys gk;
   RelinKey rk;
   Channel channel;
+  // All protocol traffic (HE, shares, GC, OT) flows through this one framed
+  // wrapper: a single pair of per-direction sequence spaces, fault
+  // injection configured from PRIMER_FAULT_*, retry policy from
+  // PRIMER_RETRY_*.
+  FramedChannel framed{channel};
   ShareRing ring;
   CostAccumulator costs;
   FixedPointFormat fmt;
@@ -76,7 +82,7 @@ class ProtocolContext {
 class GcStage {
  public:
   GcStage(ProtocolContext& pc, Circuit circuit, RevealTo reveal)
-      : pc_(pc), session_(pc.channel, pc.server_rng),
+      : pc_(pc), session_(pc.framed, pc.server_rng),
         circuit_(std::move(circuit)), reveal_(reveal) {}
 
   // Garble + transmit tables; charge to costs[phase][step_name].

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
+#include <string>
 
 #include "common/fixed_point.h"
 #include "common/matrix.h"
@@ -154,6 +156,40 @@ TEST(Serialize, TruncatedReadThrows) {
   ByteReader r(w.data());
   r.u32();
   EXPECT_THROW(r.u64(), std::out_of_range);
+}
+
+TEST(Serialize, HugeReadDoesNotOverflowBoundsCheck) {
+  // A request near SIZE_MAX used to wrap `pos_ + n` and pass the check.
+  ByteWriter w;
+  w.u64(7);
+  ByteReader r(w.data());
+  char sink[8];
+  // Volatile so the huge size is not a compile-time constant (silences the
+  // static memcpy-bound diagnostic; the check throws before any copy).
+  volatile std::size_t huge = std::numeric_limits<std::size_t>::max() - 2;
+  EXPECT_THROW(r.bytes(sink, huge), std::out_of_range);
+  EXPECT_THROW(r.skip(huge), std::out_of_range);
+  EXPECT_EQ(r.u64(), 7u);  // reader still usable at its old position
+}
+
+TEST(Serialize, HostileVectorLengthThrowsBeforeAllocating) {
+  // A 64-bit length field demanding ~2^64 elements must be rejected before
+  // the vector is sized, and the message must carry offset and size.
+  ByteWriter w;
+  w.u64(std::numeric_limits<std::uint64_t>::max() / 4);  // length only
+  ByteReader r(w.data());
+  try {
+    (void)r.vec_u64();
+    FAIL() << "expected out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("offset"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("length"), std::string::npos) << msg;
+  }
+  ByteWriter w2;
+  w2.u64(std::numeric_limits<std::uint64_t>::max() / 4);
+  ByteReader r2(w2.data());
+  EXPECT_THROW((void)r2.vec_i64(), std::out_of_range);
 }
 
 TEST(Matrix, MultiplyIdentity) {

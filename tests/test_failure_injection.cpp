@@ -1,12 +1,35 @@
 // Failure-injection tests: corrupting protocol material must change or
 // break results, never silently pass through — this validates that the
 // tests elsewhere are actually exercising the cryptography.
+//
+// The second half is the transport corruption matrix: every wire message
+// kind a PRIMER inference uses, crossed with every fault class (truncate,
+// bit-flip, wrong-kind, replay), must surface as a typed ProtocolError —
+// never a crash, never a silently wrong result — and the retry layer must
+// recover bit-identical results from recoverable faults (drop, duplicate,
+// reorder) with the retry traffic visible in the cost model.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "gc/fixed_circuits.h"
 #include "gc/garble.h"
 #include "gc/protocol.h"
 #include "he/encoder.h"
 #include "he/he.h"
+#include "net/crc32c.h"
+#include "net/fault.h"
+#include "net/frame.h"
+#include "net/framed_channel.h"
+#include "nn/model.h"
+#include "proto/primer.h"
+#include "proto/runtime.h"
 
 namespace primer {
 namespace {
@@ -106,6 +129,533 @@ TEST(FailureInjection, TruncatedSerializedCiphertextThrows) {
   bytes.resize(bytes.size() / 2);
   ByteReader r(bytes);
   EXPECT_THROW((void)eval.deserialize(r), std::out_of_range);
+}
+
+// --- CRC32C & frame format ---------------------------------------------------
+
+TEST(Crc32c, KnownAnswerAndChaining) {
+  // Standard CRC32C check value for the ASCII digits "123456789".
+  const char* msg = "123456789";
+  EXPECT_EQ(crc32c(msg, 9), 0xe3069283u);
+  // Chaining across an arbitrary split equals the one-shot CRC.
+  for (std::size_t split : {std::size_t{0}, std::size_t{3}, std::size_t{8}}) {
+    EXPECT_EQ(crc32c(msg + split, 9 - split, crc32c(msg, split)),
+              crc32c(msg, 9));
+  }
+  EXPECT_EQ(crc32c(msg, 0), 0u);
+}
+
+TEST(Frame, EncodeParseRoundTrip) {
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 250, 251, 252};
+  const auto frame = encode_frame(MessageKind::kGcTables, 42,
+                                  payload.data(), payload.size());
+  ASSERT_EQ(frame.size(), FrameHeader::kWireSize + payload.size());
+  const FrameHeader h = parse_frame(frame, "test");
+  EXPECT_EQ(h.kind, MessageKind::kGcTables);
+  EXPECT_EQ(h.seq, 42u);
+  EXPECT_EQ(h.payload_len, payload.size());
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                         frame.begin() + FrameHeader::kWireSize));
+}
+
+TEST(Frame, EveryHeaderDefectIsTyped) {
+  const std::vector<std::uint8_t> payload(64, 7);
+  const auto good = encode_frame(MessageKind::kCiphertexts, 0, payload.data(),
+                                 payload.size());
+
+  auto expect_kind = [](const std::vector<std::uint8_t>& f,
+                        ProtocolErrorKind want) {
+    try {
+      (void)parse_frame(f, "test");
+      FAIL() << "expected ProtocolError";
+    } catch (const ProtocolError& e) {
+      EXPECT_EQ(e.kind(), want) << e.what();
+    }
+  };
+
+  auto f = good;
+  f.resize(FrameHeader::kWireSize - 1);
+  expect_kind(f, ProtocolErrorKind::kTruncated);
+
+  f = good;
+  f.resize(f.size() - 5);  // length field now lies
+  expect_kind(f, ProtocolErrorKind::kTruncated);
+
+  f = good;
+  f[0] ^= 0xff;
+  expect_kind(f, ProtocolErrorKind::kBadMagic);
+
+  f = good;
+  f[4] = 9;
+  expect_kind(f, ProtocolErrorKind::kBadVersion);
+
+  f = good;
+  f[FrameHeader::kWireSize + 10] ^= 0x10;  // payload bit-flip
+  expect_kind(f, ProtocolErrorKind::kChecksumMismatch);
+
+  f = good;
+  f[FrameHeader::kSeqOffset] ^= 1;  // header bit-flip (CRC covers header)
+  expect_kind(f, ProtocolErrorKind::kChecksumMismatch);
+}
+
+// --- FramedChannel -----------------------------------------------------------
+
+RetryPolicy no_retry() {
+  RetryPolicy p;
+  p.max_attempts = 0;
+  return p;
+}
+
+TEST(FramedChannel, RoundTripAndTypedEmptyRecv) {
+  Channel ch;
+  FramedChannel fch(ch, FaultSpec{}, RetryPolicy{});
+  const std::vector<std::uint8_t> payload = {9, 8, 7};
+  fch.send(Party::kClient, MessageKind::kRingMatrix, payload);
+  EXPECT_EQ(fch.recv_expect(Party::kServer, MessageKind::kRingMatrix),
+            payload);
+  // Nothing pending: typed error naming the receiving party and the kind.
+  try {
+    (void)fch.recv_expect(Party::kServer, MessageKind::kGcTables);
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.kind(), ProtocolErrorKind::kSequenceGap);
+    EXPECT_NE(std::string(e.what()).find("server"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("gc_tables"), std::string::npos);
+  }
+}
+
+TEST(FramedChannel, KindMismatchIsTypedAndNamed) {
+  Channel ch;
+  FramedChannel fch(ch, FaultSpec{}, RetryPolicy{});
+  fch.send(Party::kClient, MessageKind::kOtSetup, std::vector<std::uint8_t>(8));
+  try {
+    (void)fch.recv_expect(Party::kServer, MessageKind::kCiphertexts);
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.kind(), ProtocolErrorKind::kKindMismatch);
+    EXPECT_NE(std::string(e.what()).find("ciphertexts"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("ot_setup"), std::string::npos);
+  }
+}
+
+// Realistic payload for each message kind a full PRIMER inference ships.
+std::vector<std::uint8_t> payload_for(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kControl:
+      return {0x01};
+    case MessageKind::kCiphertexts: {
+      // Mirrors ProtocolContext::send_cts: u32 count, then u32-length-framed
+      // serialized ciphertexts.
+      static const std::vector<std::uint8_t> cached = [] {
+        const HeContext ctx(make_params(HeProfile::kTest2048));
+        Rng rng(11);
+        KeyGenerator keygen(ctx, rng);
+        const BatchEncoder encoder(ctx);
+        const Encryptor enc(ctx, keygen.secret_key(), rng);
+        const Evaluator eval(ctx);
+        ByteWriter inner;
+        eval.serialize(enc.encrypt(encoder.encode({1, 2, 3})), inner);
+        ByteWriter w;
+        w.u32(1);
+        w.u32(static_cast<std::uint32_t>(inner.size()));
+        w.bytes(inner.data().data(), inner.size());
+        return w.take();
+      }();
+      return cached;
+    }
+    case MessageKind::kRingMatrix: {
+      ByteWriter w;
+      w.u32(2);
+      w.u32(2);
+      for (int i = 0; i < 4; ++i) {
+        const std::int64_t v = 1000 + i;
+        w.bytes(&v, 5);
+      }
+      return w.take();
+    }
+    case MessageKind::kGcTables:
+    case MessageKind::kGcGarblerLabels:
+      return std::vector<std::uint8_t>(8 * sizeof(Label), 0xab);
+    case MessageKind::kGcDecodeBits:
+    case MessageKind::kGcOutputBits:
+      return {0b10110010, 0b00000001};
+    case MessageKind::kOtSetup:
+      return std::vector<std::uint8_t>(128 * 64, 0);
+    case MessageKind::kOtReceiverColumns:
+      return std::vector<std::uint8_t>(40 * 16, 0);
+    case MessageKind::kOtSenderMasked:
+      return std::vector<std::uint8_t>(40 * 32, 0);
+  }
+  return {0x00};
+}
+
+// Corruption matrix: every message kind x every fault class must yield a
+// typed ProtocolError from recv_expect (retries disabled), never a crash.
+TEST(CorruptionMatrix, EveryKindEveryFaultThrowsTyped) {
+  const MessageKind kinds[] = {
+      MessageKind::kControl,         MessageKind::kCiphertexts,
+      MessageKind::kRingMatrix,      MessageKind::kGcTables,
+      MessageKind::kGcDecodeBits,    MessageKind::kGcGarblerLabels,
+      MessageKind::kGcOutputBits,    MessageKind::kOtSetup,
+      MessageKind::kOtReceiverColumns, MessageKind::kOtSenderMasked,
+  };
+  enum class Fault { kTruncateHeader, kTruncatePayload, kBitflip, kWrongKind, kReplay };
+  const Fault faults[] = {Fault::kTruncateHeader, Fault::kTruncatePayload,
+                          Fault::kBitflip, Fault::kWrongKind, Fault::kReplay};
+
+  for (const MessageKind kind : kinds) {
+    const auto payload = payload_for(kind);
+    for (const Fault fault : faults) {
+      SCOPED_TRACE(std::string(message_kind_name(kind)) + " / fault " +
+                   std::to_string(static_cast<int>(fault)));
+      Channel ch;
+      FramedChannel fch(ch, FaultSpec{}, no_retry());
+      auto frame = encode_frame(kind, 0, payload.data(), payload.size());
+      switch (fault) {
+        case Fault::kTruncateHeader:
+          frame.resize(FrameHeader::kWireSize / 2);
+          break;
+        case Fault::kTruncatePayload:
+          frame.resize(frame.size() - 1 - payload.size() / 3);
+          break;
+        case Fault::kBitflip:
+          frame[FrameHeader::kWireSize + payload.size() / 2] ^= 0x04;
+          break;
+        case Fault::kWrongKind:
+          frame[FrameHeader::kKindOffset] =
+              static_cast<std::uint8_t>((static_cast<int>(kind) + 1) % 10);
+          reseal_frame(frame);  // checksum-valid, semantically wrong
+          break;
+        case Fault::kReplay:
+          break;
+      }
+      ch.send(Party::kClient, frame);
+      if (fault == Fault::kReplay) {
+        ch.send(Party::kClient, frame);  // identical seq arrives twice
+        EXPECT_EQ(fch.recv_expect(Party::kServer, kind), payload);
+      }
+      try {
+        (void)fch.recv_expect(Party::kServer, kind);
+        FAIL() << "expected ProtocolError";
+      } catch (const ProtocolError& e) {
+        switch (fault) {
+          case Fault::kTruncateHeader:
+          case Fault::kTruncatePayload:
+            EXPECT_EQ(e.kind(), ProtocolErrorKind::kTruncated) << e.what();
+            break;
+          case Fault::kBitflip:
+            EXPECT_EQ(e.kind(), ProtocolErrorKind::kChecksumMismatch)
+                << e.what();
+            break;
+          case Fault::kWrongKind:
+            EXPECT_EQ(e.kind(), ProtocolErrorKind::kKindMismatch) << e.what();
+            break;
+          case Fault::kReplay:
+            EXPECT_EQ(e.kind(), ProtocolErrorKind::kSequenceGap) << e.what();
+            break;
+        }
+      }
+    }
+  }
+}
+
+TEST(CorruptionMatrix, ValidFrameGarbagePayloadIsMalformed) {
+  // A frame that passes every transport check but whose payload is not a
+  // valid ciphertext batch must surface as kMalformed, not UB or a wild
+  // allocation.
+  ProtocolContext pc(HeProfile::kTest2048, 3, {1});
+  ByteWriter w;
+  w.u32(0xffffffffu);  // claims 4 billion ciphertexts
+  pc.framed.send(Party::kServer, MessageKind::kCiphertexts, w.take());
+  try {
+    (void)pc.recv_cts(Party::kClient);
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.kind(), ProtocolErrorKind::kMalformed);
+    EXPECT_NE(std::string(e.what()).find("client"), std::string::npos);
+  }
+
+  // Ring matrix with a lying shape.
+  ByteWriter w2;
+  w2.u32(64);
+  w2.u32(64);
+  pc.framed.send(Party::kServer, MessageKind::kRingMatrix, w2.take());
+  try {
+    (void)pc.recv_ring(Party::kClient, 2, 2);
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.kind(), ProtocolErrorKind::kMalformed);
+  }
+}
+
+TEST(CorruptionMatrix, GcLabelPayloadSizeMismatchIsMalformed) {
+  const std::uint64_t t = 257;
+  const std::size_t w = share_width(t);
+  CircuitBuilder b;
+  const Bus sg = b.add_input_bus(w);
+  const Bus se = b.add_input_bus(w);
+  b.set_outputs(b.add_mod(sg, se, t));
+  const Circuit circ = b.build();
+
+  Channel ch;
+  FramedChannel fch(ch, FaultSpec{}, no_retry());
+  Rng rng(21);
+  GcSession session(fch, rng);
+  // Pre-load a checksum-valid kGcTables frame whose payload is one label
+  // short of what the circuit requires; offline() must reject it.
+  const std::size_t table_labels = 2 * circ.and_count();
+  const std::vector<std::uint8_t> bad((table_labels - 1) * sizeof(Label), 0);
+  ch.send(Party::kServer, encode_frame(MessageKind::kGcTables, 0, bad.data(),
+                                       bad.size()));
+  // The session's own send of the true tables lands at seq 1 and is
+  // ignored; the evaluator parses the hostile seq-0 frame first.
+  try {
+    session.offline(circ, RevealTo::kBoth);
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.kind(), ProtocolErrorKind::kMalformed) << e.what();
+  }
+}
+
+// --- retry / recovery --------------------------------------------------------
+
+TEST(RetryLayer, GcSessionRecoversUnderDropDupReorder) {
+  const std::uint64_t t = 65537;
+  const std::size_t w = share_width(t);
+  CircuitBuilder b;
+  const Bus sg = b.add_input_bus(w);
+  const Bus se = b.add_input_bus(w);
+  b.set_outputs(b.add_mod(sg, se, t));
+  const Circuit circ = b.build();
+  const std::uint64_t x = 40000, y = 30000;
+
+  auto run = [&](const FaultSpec& spec) {
+    Channel ch;
+    FramedChannel fch(ch, spec, RetryPolicy{});
+    Rng rng(77);
+    GcSession session(fch, rng);
+    session.offline(circ, RevealTo::kBoth);
+    const auto out =
+        session.online(value_to_bits(x, w), value_to_bits(y, w));
+    return std::make_pair(bits_to_value(out), fch.stats());
+  };
+
+  const auto clean = run(FaultSpec{});
+  ASSERT_EQ(clean.first, (x + y) % t);
+  EXPECT_EQ(clean.second.retransmit_frames, 0u);
+
+  FaultSpec lossy;
+  lossy.seed = 2024;
+  lossy.drop = 0.25;
+  lossy.duplicate = 0.25;
+  lossy.reorder = 0.25;
+  const auto faulty = run(lossy);
+  // Bit-identical result despite the injected faults...
+  EXPECT_EQ(faulty.first, clean.first);
+  // ...and the recovery work is visible, not silent.
+  EXPECT_GT(faulty.second.retransmit_frames +
+                faulty.second.duplicates_dropped + faulty.second.retry_rounds,
+            0u);
+  EXPECT_GT(faulty.second.retransmit_bytes + faulty.second.control_bytes, 0u);
+}
+
+struct EnvGuard {
+  explicit EnvGuard(std::vector<std::pair<const char*, const char*>> kv)
+      : keys_() {
+    for (const auto& [k, v] : kv) {
+      keys_.push_back(k);
+      ::setenv(k, v, 1);
+    }
+  }
+  ~EnvGuard() {
+    for (const char* k : keys_) ::unsetenv(k);
+  }
+  std::vector<const char*> keys_;
+};
+
+TEST(RetryLayer, FullInferenceBitIdenticalUnderSeededFaults) {
+  Rng wrng(2025);
+  const auto weights = quantize(BertWeightsD::random(bert_nano(), wrng));
+  const FixedBert ref(weights);
+  const std::vector<std::size_t> tokens = {3, 17, 9, 28};
+
+  EnvGuard env({{"PRIMER_FAULT_SEED", "42"},
+                {"PRIMER_FAULT_DROP", "0.03"},
+                {"PRIMER_FAULT_DUP", "0.03"},
+                {"PRIMER_FAULT_REORDER", "0.03"}});
+  PrimerEngine engine(weights, PrimerVariant::kFP);
+  const auto result = engine.run(tokens);
+  // The lossy wire must not change a single logit bit.
+  EXPECT_EQ(result.logits, ref.forward(tokens));
+  // Retry traffic reaches the run-level cost surface.
+  EXPECT_GT(result.retransmits, 0u);
+  EXPECT_GT(result.retransmit_bytes, 0u);
+  // Every phase that decrypted reported a positive noise margin.
+  EXPECT_GT(result.min_noise_margin_bits, 0.0);
+}
+
+TEST(RetryLayer, UnrecoverableCorruptionSurfacesAsProtocolError) {
+  Rng wrng(2025);
+  const auto weights = quantize(BertWeightsD::random(bert_nano(), wrng));
+  EnvGuard env({{"PRIMER_FAULT_SEED", "7"},
+                {"PRIMER_FAULT_BITFLIP", "1.0"},
+                {"PRIMER_RETRY_MAX", "2"}});
+  PrimerEngine engine(weights, PrimerVariant::kF);
+  EXPECT_THROW((void)engine.run({3, 17, 9, 28}), ProtocolError);
+}
+
+// Seed-driven soak cell: tools/corruption_soak.py runs this test across N
+// seeds with PRIMER_FAULT_* set; any outcome other than a correct result or
+// a typed ProtocolError (crash, hang, silent corruption) fails the job.
+TEST(RetryLayer, SeededSoakGcSessionNeverCrashes) {
+  FaultSpec spec = FaultSpec::from_env();
+  if (!spec.any()) {
+    spec.drop = 0.1;
+    spec.duplicate = 0.1;
+    spec.reorder = 0.1;
+    spec.truncate = 0.03;
+    spec.bitflip = 0.03;
+    spec.delay = 0.05;
+  }
+  const std::uint64_t t = 65537;
+  const std::size_t w = share_width(t);
+  CircuitBuilder b;
+  const Bus sg = b.add_input_bus(w);
+  const Bus se = b.add_input_bus(w);
+  b.set_outputs(b.add_mod(sg, se, t));
+  const Circuit circ = b.build();
+
+  Channel ch;
+  FramedChannel fch(ch, spec, RetryPolicy::from_env());
+  Rng rng(99);
+  GcSession session(fch, rng);
+  try {
+    session.offline(circ, RevealTo::kBoth);
+    const auto out = session.online(value_to_bits(11111, w),
+                                    value_to_bits(22222, w));
+    // If the transport recovered, the answer must be exact.
+    EXPECT_EQ(bits_to_value(out), (11111ull + 22222ull) % t);
+  } catch (const ProtocolError&) {
+    // Unrecoverable corruption detected and typed — acceptable outcome.
+  }
+}
+
+// --- noise budget ------------------------------------------------------------
+
+TEST(NoiseBudget, ExhaustedBudgetThrowsInsteadOfGarbage) {
+  const HeContext ctx(make_params(HeProfile::kTest2048));
+  Rng rng(6);
+  KeyGenerator keygen(ctx, rng);
+  const BatchEncoder encoder(ctx);
+  const Encryptor enc(ctx, keygen.secret_key(), rng);
+  const Decryptor dec(ctx, keygen.secret_key());
+
+  const Evaluator eval(ctx);
+  auto ct = enc.encrypt(encoder.encode({5, 6, 7}));
+  EXPECT_GT(dec.estimated_budget(ct), 0.0);
+  EXPECT_NO_THROW((void)dec.decrypt(ct));
+
+  // A tracked-noise scare on a healthy ciphertext must NOT throw: the
+  // worst-case estimate trips the screen, the measured fallback clears it.
+  auto scare = ct;
+  scare.noise_log2 = ctx.params().log2_q();
+  EXPECT_LT(dec.estimated_budget(scare), 0.0);
+  EXPECT_NO_THROW((void)dec.decrypt(scare));
+
+  // Genuinely destroy the ciphertext: each full-range plain multiply adds
+  // ~log2(n*t) bits of real noise, so a few of them wrap past q on the
+  // 80-bit test profile.  Decrypt must refuse instead of returning garbage.
+  std::vector<u64> big(encoder.slot_count());
+  Rng noise_rng(7);
+  noise_rng.fill_uniform_mod(big, ctx.t());
+  const Plaintext heavy = encoder.encode(big);
+  for (int i = 0; i < 4; ++i) eval.multiply_plain_inplace(ct, heavy);
+  EXPECT_LT(dec.noise_budget(ct), 0.01);  // measured: past the cliff
+  try {
+    (void)dec.decrypt(ct);
+    FAIL() << "expected NoiseBudgetExhausted";
+  } catch (const NoiseBudgetExhausted& e) {
+    EXPECT_LT(e.estimated_budget_bits(), 0.01);
+  }
+  // The measurement path must still be able to inspect such a ciphertext.
+  EXPECT_NO_THROW((void)dec.noise_budget(ct));
+}
+
+TEST(NoiseBudget, EstimateIsConservativeThroughOps) {
+  const HeContext ctx(make_params(HeProfile::kTest2048));
+  Rng rng(7);
+  KeyGenerator keygen(ctx, rng);
+  const BatchEncoder encoder(ctx);
+  const Encryptor enc(ctx, keygen.secret_key(), rng);
+  const Decryptor dec(ctx, keygen.secret_key());
+  const Evaluator eval(ctx);
+
+  std::vector<u64> v(encoder.slot_count());
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = i % ctx.t();
+  auto a = enc.encrypt(encoder.encode(v));
+  auto b = enc.encrypt(encoder.encode(v));
+  eval.add_inplace(a, b);
+  eval.multiply_plain_inplace(a, encoder.encode(std::vector<u64>(v.size(), 3)));
+  eval.add_inplace(a, b);
+
+  const double estimated = dec.estimated_budget(a);
+  const double measured = dec.noise_budget(a);
+  // The tracked estimate must never promise more budget than reality.
+  EXPECT_GT(estimated, 0.0);
+  EXPECT_LE(estimated, measured);
+}
+
+TEST(NoiseBudget, DecryptorTracksMinMargin) {
+  const HeContext ctx(make_params(HeProfile::kTest2048));
+  Rng rng(8);
+  KeyGenerator keygen(ctx, rng);
+  const BatchEncoder encoder(ctx);
+  const Encryptor enc(ctx, keygen.secret_key(), rng);
+  const Decryptor dec(ctx, keygen.secret_key());
+  const Evaluator eval(ctx);
+
+  (void)dec.take_min_margin();  // reset
+  auto fresh = enc.encrypt(encoder.encode({1}));
+  auto noisy = enc.encrypt(encoder.encode({2}));
+  eval.multiply_plain_inplace(noisy,
+                              encoder.encode(std::vector<u64>(1, 1000)));
+  (void)dec.decrypt(fresh);
+  (void)dec.decrypt(noisy);
+  const double margin = dec.take_min_margin();
+  EXPECT_DOUBLE_EQ(margin, dec.estimated_budget(noisy));
+  // Consumed: next read is +inf until another decryption happens.
+  EXPECT_TRUE(std::isinf(dec.take_min_margin()));
+}
+
+TEST(NoiseBudget, DeserializeRejectsInsaneNoiseAndPartCount) {
+  const HeContext ctx(make_params(HeProfile::kTest2048));
+  Rng rng(9);
+  KeyGenerator keygen(ctx, rng);
+  const BatchEncoder encoder(ctx);
+  const Encryptor enc(ctx, keygen.secret_key(), rng);
+  const Evaluator eval(ctx);
+  const auto ct = enc.encrypt(encoder.encode({1, 2}));
+
+  ByteWriter w;
+  eval.serialize(ct, w);
+  auto bytes = w.take();
+
+  {
+    // NaN noise estimate would disarm the decrypt guard.
+    auto evil = bytes;
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    std::memcpy(evil.data() + evil.size() - sizeof(double), &nan, sizeof nan);
+    ByteReader r(evil);
+    EXPECT_THROW((void)eval.deserialize(r), std::out_of_range);
+  }
+  {
+    // Hostile part count.
+    auto evil = bytes;
+    const std::uint32_t parts = 0x7fffffff;
+    std::memcpy(evil.data(), &parts, sizeof parts);
+    ByteReader r(evil);
+    EXPECT_THROW((void)eval.deserialize(r), std::out_of_range);
+  }
 }
 
 }  // namespace

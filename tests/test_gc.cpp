@@ -248,8 +248,9 @@ TEST(GcSession, TwoPartyAddModT) {
   const Circuit circ = b.build();
 
   Channel ch;
+  FramedChannel fch(ch, FaultSpec{}, RetryPolicy{});
   Rng rng(77);
-  GcSession session(ch, rng);
+  GcSession session(fch, rng);
   session.offline(circ, RevealTo::kBoth);
   const std::uint64_t x = 12345, y = 54321;
   const auto out = session.online(value_to_bits(x, w), value_to_bits(y, w));
@@ -265,8 +266,9 @@ TEST(GcSession, RevealToGarblerOnly) {
   b.set_outputs(b.add(a, c));
   const Circuit circ = b.build();
   Channel ch;
+  FramedChannel fch(ch, FaultSpec{}, RetryPolicy{});
   Rng rng(79);
-  GcSession session(ch, rng);
+  GcSession session(fch, rng);
   session.offline(circ, RevealTo::kGarbler);
   const auto out = session.online(value_to_bits(100, 8), value_to_bits(55, 8));
   EXPECT_EQ(bits_to_value(out), 155u);
@@ -274,8 +276,9 @@ TEST(GcSession, RevealToGarblerOnly) {
 
 TEST(GcSession, OnlineBeforeOfflineThrows) {
   Channel ch;
+  FramedChannel fch(ch, FaultSpec{}, RetryPolicy{});
   Rng rng(1);
-  GcSession session(ch, rng);
+  GcSession session(fch, rng);
   EXPECT_THROW(session.online({}, {}), std::logic_error);
 }
 
@@ -285,8 +288,9 @@ TEST(GcSession, ChannelAccountsGarbledTables) {
   b.set_outputs(b.mul(a, c, 16));
   const Circuit circ = b.build();
   Channel ch;
+  FramedChannel fch(ch, FaultSpec{}, RetryPolicy{});
   Rng rng(83);
-  GcSession session(ch, rng);
+  GcSession session(fch, rng);
   const auto before = ch.total_bytes();
   session.offline(circ, RevealTo::kGarbler);
   // Offline traffic must include at least the garbled tables.

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Gate: transport framing overhead must stay under 2% of end-to-end cost.
+
+Usage:
+  check_framing_overhead.py BENCH.jsonl [--max-ratio 0.02]
+
+Reads bench_he_micro output (raw; lines starting with "JSON " are parsed)
+and checks every "framing_overhead" record:
+
+  * e2e_overhead_ratio  — CPU cost of framing (CRC32C + header handling,
+    measured as the raw-vs-framed channel delta) projected over a live nano
+    inference's traffic, divided by that run's end-to-end (compute +
+    modeled network) time — must stay under --max-ratio.
+  * byte_overhead_ratio — the 24-byte header's share of a
+    ciphertext-sized message — must stay under --max-ratio too (it is
+    ~0.04%, so this arm only trips if the header balloons).
+
+A file with no framing_overhead record FAILS: the gate would otherwise be
+green while checking nothing (e.g. after a bench rename).
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("bench_output")
+    ap.add_argument("--max-ratio", type=float, default=0.02)
+    args = ap.parse_args()
+
+    records = []
+    try:
+        with open(args.bench_output) as f:
+            for line in f:
+                if not line.startswith("JSON "):
+                    continue
+                try:
+                    rec = json.loads(line[len("JSON "):])
+                except json.JSONDecodeError:
+                    continue
+                if rec.get("bench") == "framing_overhead":
+                    records.append(rec)
+    except OSError as e:
+        print(f"check_framing_overhead: cannot read {args.bench_output}: {e}",
+              file=sys.stderr)
+        return 1
+
+    if not records:
+        print("check_framing_overhead: FAIL: no framing_overhead record in "
+              f"{args.bench_output} — the gate is checking nothing",
+              file=sys.stderr)
+        return 1
+
+    ok = True
+    for rec in records:
+        e2e = rec.get("e2e_overhead_ratio")
+        byte = rec.get("byte_overhead_ratio")
+        label = rec.get("label", "?")
+        if e2e is None or byte is None:
+            print(f"check_framing_overhead: FAIL [{label}]: record is "
+                  f"missing ratio fields: {rec}", file=sys.stderr)
+            ok = False
+            continue
+        status = "ok"
+        if e2e >= args.max_ratio or byte >= args.max_ratio:
+            status = "FAIL"
+            ok = False
+        print(f"check_framing_overhead: {status} [{label}] "
+              f"e2e_overhead={100 * e2e:.3f}% "
+              f"byte_overhead={100 * byte:.4f}% "
+              f"(limit {100 * args.max_ratio:.1f}%)")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

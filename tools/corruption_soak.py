@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Randomized-corruption soak: hammer the framed transport across N seeds.
+
+Usage:
+  corruption_soak.py BUILD_DIR [--seeds 25] [--start 1]
+                     [--drop P] [--dup P] [--reorder P]
+                     [--truncate P] [--bitflip P] [--delay P]
+
+For every seed the seeded soak test (RetryLayer.SeededSoakGcSessionNeverCrashes
+in test_failure_injection) runs a full garbled-circuit session over a
+FramedChannel with the fault injector driven by PRIMER_FAULT_* — each run
+must either recover the exact result or surface a typed ProtocolError;
+crashes, hangs, and silent wrong answers fail the soak.
+
+The probabilities default to the test's built-in mix (drop/dup/reorder 0.1,
+truncate/bitflip 0.03, delay 0.05); pass flags to override.  Deterministic
+per seed, so a failing seed reproduces with:
+  PRIMER_FAULT_SEED=<seed> ./test_failure_injection \
+      --gtest_filter='RetryLayer.SeededSoakGcSessionNeverCrashes'
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+
+TEST_BINARY = "test_failure_injection"
+TEST_FILTER = "RetryLayer.SeededSoakGcSessionNeverCrashes"
+PER_RUN_TIMEOUT_S = 120  # a hung retry loop must fail the soak, not the CI job
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("build_dir")
+    ap.add_argument("--seeds", type=int, default=25)
+    ap.add_argument("--start", type=int, default=1)
+    for knob in ("drop", "dup", "reorder", "truncate", "bitflip", "delay"):
+        ap.add_argument(f"--{knob}", type=float, default=None)
+    args = ap.parse_args()
+
+    binary = os.path.join(args.build_dir, TEST_BINARY)
+    if not os.path.exists(binary):
+        print(f"corruption_soak: {binary} not found (build it first)",
+              file=sys.stderr)
+        return 1
+
+    # The test falls back to its built-in mix only when NO fault knob is
+    # set, so a partial override must pin the rest of the mix explicitly.
+    overrides = {k: getattr(args, k)
+                 for k in ("drop", "dup", "reorder", "truncate", "bitflip",
+                           "delay")
+                 if getattr(args, k) is not None}
+    if overrides:
+        mix = {"drop": 0.1, "dup": 0.1, "reorder": 0.1,
+               "truncate": 0.03, "bitflip": 0.03, "delay": 0.05}
+        mix.update(overrides)
+    else:
+        mix = {}  # let the test use its built-in defaults
+
+    failures = []
+    for seed in range(args.start, args.start + args.seeds):
+        env = dict(os.environ)
+        env["PRIMER_FAULT_SEED"] = str(seed)
+        for knob, p in mix.items():
+            env[f"PRIMER_FAULT_{knob.upper()}"] = str(p)
+        cmd = [binary, f"--gtest_filter={TEST_FILTER}", "--gtest_brief=1"]
+        try:
+            proc = subprocess.run(cmd, env=env, capture_output=True,
+                                  text=True, timeout=PER_RUN_TIMEOUT_S)
+        except subprocess.TimeoutExpired:
+            print(f"corruption_soak: seed {seed}: TIMEOUT "
+                  f"(>{PER_RUN_TIMEOUT_S}s)", file=sys.stderr)
+            failures.append(seed)
+            continue
+        if proc.returncode != 0:
+            print(f"corruption_soak: seed {seed}: FAILED "
+                  f"(exit {proc.returncode})", file=sys.stderr)
+            sys.stderr.write(proc.stdout)
+            sys.stderr.write(proc.stderr)
+            failures.append(seed)
+
+    n = args.seeds
+    if failures:
+        print(f"corruption_soak: {len(failures)}/{n} seeds failed: "
+              f"{failures}", file=sys.stderr)
+        return 1
+    print(f"corruption_soak: all {n} seeds passed "
+          f"(start={args.start}, mix={'overridden' if mix else 'built-in'})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
