@@ -1,111 +1,141 @@
-// GC substrate microbenchmarks: fixed-key AES throughput, half-gates
-// garbling and evaluation rates, and the AND-gate counts of the protocol
-// circuits (softmax rows, activations, layernorm) that dominate Primer's
-// GC cost.
-#include <benchmark/benchmark.h>
+// GC nonlinear-layer microbenchmarks: half-gates garbling and evaluation
+// throughput (AND gates per second) over every fixed circuit the Primer
+// protocols ship to the GC layer, swept over thread counts.
+//
+// Usage:
+//   bench_gc_micro [--threads 1,2,4] [--reps N] [--min-time SECONDS] [--json]
+//
+// Two kernels are reported for each circuit:
+//   batched — the production path: pipelined AES-NI batch hashing over
+//             dependency levels, slice-parallel across the thread pool.
+//   scalar  — the seed's serial single-block-AES reference
+//             (garble_reference / eval_reference), the baseline the
+//             >=3x single-thread throughput gate measures against.
+// ops_per_s in the JSON lines is AND gates per second, so the bench
+// trajectory gate tracks garbling throughput directly.
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
 
-#include "gc/aes.h"
-#include "gc/fixed_circuits.h"
+#include "bench_util.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/timing.h"
+#include "gc/fixed_circuit_suite.h"
 #include "gc/garble.h"
 
 using namespace primer;
 
 namespace {
 
-void BM_AesHash(benchmark::State& state) {
-  const FixedKeyAes aes;
-  Block x{123, 456};
-  std::uint64_t tweak = 0;
-  for (auto _ : state) {
-    x = aes.hash(x, ++tweak);
-    benchmark::DoNotOptimize(x);
-  }
-}
-BENCHMARK(BM_AesHash);
+struct Options {
+  std::vector<std::size_t> threads;
+  int reps = 3;
+  double min_time = 0.05;
+  bool json_only = false;
+};
 
-Circuit make_mul_circuit(std::size_t w) {
-  CircuitBuilder b;
-  const Bus x = b.add_input_bus(w), y = b.add_input_bus(w);
-  b.set_outputs(b.mul(x, y, w));
-  return b.build();
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (bench::match_threads_flag(argc, argv, i, opt.threads)) {
+      continue;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      opt.json_only = true;
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      opt.reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--min-time") == 0 && i + 1 < argc) {
+      opt.min_time = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  if (opt.threads.empty()) opt.threads = {num_threads()};
+  if (opt.reps < 1) opt.reps = 1;
+  if (opt.min_time < 0.0) opt.min_time = 0.0;
+  return opt;
 }
 
-void BM_GarbleMultiplier(benchmark::State& state) {
-  const auto w = static_cast<std::size_t>(state.range(0));
-  const Circuit c = make_mul_circuit(w);
-  Rng rng(5);
-  Garbler g(rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(g.garble(c));
+// Runs `op` until min_time elapses; each call to `op` completes
+// `ops_per_iter` AND gates, so ops_per_s is gates per second.
+void run_bench(const char* name, const std::string& label, const char* kernel,
+               std::size_t threads, std::size_t ops_per_iter,
+               const Options& opt, const std::function<void()>& op) {
+  op();  // warm-up (circuit layering cache, allocator)
+  std::uint64_t iters = 0;
+  CpuWallTimer timer;
+  do {
+    for (int r = 0; r < opt.reps; ++r) op();
+    iters += static_cast<std::uint64_t>(opt.reps);
+  } while (timer.wall_seconds() < opt.min_time);
+  const double wall = timer.wall_seconds();
+  const double cpu = timer.cpu_seconds();
+  const double total_ops =
+      static_cast<double>(iters) * static_cast<double>(ops_per_iter);
+  const double per_op = wall / total_ops;
+  if (!opt.json_only) {
+    std::printf(
+        "%-14s %-10s kernel=%-8s threads=%zu %7zu ANDs %12.1f gates/s  "
+        "cpu/wall=%4.2f\n",
+        name, label.c_str(), kernel, threads, ops_per_iter,
+        per_op > 0 ? 1.0 / per_op : 0.0, wall > 0 ? cpu / wall : 0.0);
   }
-  state.counters["ANDs"] = static_cast<double>(c.and_count());
-  state.counters["ns_per_AND"] = benchmark::Counter(
-      static_cast<double>(c.and_count()),
-      benchmark::Counter::kIsIterationInvariantRate |
-          benchmark::Counter::kInvert);
+  std::printf(
+      "JSON {\"bench\":\"%s\",\"label\":\"%s\",\"kernel\":\"%s\","
+      "\"threads\":%zu,\"iters\":%llu,\"wall_s\":%.6f,\"cpu_s\":%.6f,"
+      "\"wall_s_per_op\":%.9f,\"ops_per_s\":%.3f}\n",
+      name, label.c_str(), kernel, threads,
+      static_cast<unsigned long long>(iters), wall, cpu, per_op,
+      per_op > 0 ? 1.0 / per_op : 0.0);
 }
-BENCHMARK(BM_GarbleMultiplier)->Arg(15)->Arg(32)->Arg(64);
-
-void BM_EvalMultiplier(benchmark::State& state) {
-  const auto w = static_cast<std::size_t>(state.range(0));
-  const Circuit c = make_mul_circuit(w);
-  Rng rng(6);
-  Garbler g(rng);
-  const auto gc = g.garble(c);
-  std::vector<Label> in(static_cast<std::size_t>(c.num_inputs));
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    in[i] = Garbler::active_input(gc, i, (i & 1) != 0);
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(GcEvaluator::eval(c, gc.table, in));
-  }
-  state.counters["ANDs"] = static_cast<double>(c.and_count());
-}
-BENCHMARK(BM_EvalMultiplier)->Arg(15)->Arg(32)->Arg(64);
-
-void BM_GarbleSoftmaxRow(benchmark::State& state) {
-  SoftmaxCircuitSpec spec;
-  spec.t = (1ULL << 38) + 1;  // protocol share width
-  spec.count = static_cast<std::size_t>(state.range(0));
-  spec.frac_shift = 8;
-  const Circuit c = make_softmax_circuit(spec);
-  Rng rng(7);
-  Garbler g(rng);
-  for (auto _ : state) benchmark::DoNotOptimize(g.garble(c));
-  state.counters["ANDs"] = static_cast<double>(c.and_count());
-}
-BENCHMARK(BM_GarbleSoftmaxRow)->Arg(4)->Arg(8)->Arg(30);
-
-void BM_CircuitGateCounts(benchmark::State& state) {
-  // Not a timing benchmark: reports the protocol circuit sizes (the GC-side
-  // cost drivers) as counters for the record.
-  const std::uint64_t t = (1ULL << 38) + 1;
-  for (auto _ : state) {
-    SoftmaxCircuitSpec sm;
-    sm.t = t;
-    sm.count = 30;
-    sm.frac_shift = 8;
-    ActivationCircuitSpec act;
-    act.t = t;
-    act.count = 1;
-    act.frac_shift = 8;
-    act.act = Activation::kGelu;
-    LayerNormCircuitSpec ln;
-    ln.t = t;
-    ln.d = 64;
-    ln.frac_shift = 8;
-    ln.gamma.assign(64, 256);
-    ln.beta.assign(64, 0);
-    state.counters["softmax30_ANDs"] =
-        static_cast<double>(make_softmax_circuit(sm).and_count());
-    state.counters["gelu_ANDs_per_value"] =
-        static_cast<double>(make_activation_circuit(act).and_count());
-    state.counters["layernorm64_ANDs"] =
-        static_cast<double>(make_layernorm_circuit(ln).and_count());
-  }
-}
-BENCHMARK(BM_CircuitGateCounts)->Iterations(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  const auto suite = fixed_circuit_suite();
+
+  for (std::size_t ti = 0; ti < opt.threads.size(); ++ti) {
+    const std::size_t n = opt.threads[ti];
+    set_num_threads(n);
+    for (const auto& [name, circ] : suite) {
+      const std::size_t ands = circ.layers().and_count;
+      if (ands == 0) continue;
+
+      // Pre-garble once (fixed seed) so the eval benches measure evaluation
+      // only; active labels come from random input bits.
+      Rng grng(404);
+      Garbler garbler(grng);
+      const GarbledCircuit gc = garbler.garble(circ);
+      Rng in_rng(505);
+      std::vector<Label> active(static_cast<std::size_t>(circ.num_inputs));
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        active[i] = Garbler::active_input(gc, i, in_rng.next() & 1);
+      }
+
+      run_bench("gc_garble", name, "batched", n, ands, opt, [&] {
+        Rng rng(404);
+        Garbler g(rng);
+        (void)g.garble(circ);
+      });
+      run_bench("gc_eval", name, "batched", n, ands, opt, [&] {
+        (void)GcEvaluator::eval(circ, gc.table, active);
+      });
+
+      // Reference serial paths: thread-independent, bench once.
+      if (ti == 0) {
+        run_bench("gc_garble_ref", name, "scalar", 1, ands, opt, [&] {
+          Rng rng(404);
+          (void)garble_reference(circ, rng);
+        });
+        run_bench("gc_eval_ref", name, "scalar", 1, ands, opt, [&] {
+          (void)eval_reference(circ, gc.table, active);
+        });
+      }
+    }
+  }
+  return 0;
+}

@@ -70,6 +70,16 @@ struct PhaseCost {
   std::uint64_t he_rotations = 0;
   std::uint64_t he_adds = 0;
   std::uint64_t gc_and_gates = 0;
+  // GC compute split: garbling is offline work, evaluation online.  Wall
+  // and aggregate-CPU are tracked separately so gates/s and effective
+  // parallelism are both recoverable.
+  double gc_garble_seconds = 0.0;
+  double gc_garble_cpu_seconds = 0.0;
+  double gc_eval_seconds = 0.0;
+  double gc_eval_cpu_seconds = 0.0;
+  std::uint64_t gc_table_bytes = 0;           // garbled-table payload shipped
+  std::uint64_t gc_streamed_table_bytes = 0;  // of which via kGcTableChunk
+  std::uint64_t gc_table_chunks = 0;          // streamed spans shipped
   // Retry-layer traffic (frames resent after injected faults plus their
   // bytes, control requests included in bytes_sent already).
   std::uint64_t retransmits = 0;
@@ -91,6 +101,13 @@ struct PhaseCost {
     he_rotations += o.he_rotations;
     he_adds += o.he_adds;
     gc_and_gates += o.gc_and_gates;
+    gc_garble_seconds += o.gc_garble_seconds;
+    gc_garble_cpu_seconds += o.gc_garble_cpu_seconds;
+    gc_eval_seconds += o.gc_eval_seconds;
+    gc_eval_cpu_seconds += o.gc_eval_cpu_seconds;
+    gc_table_bytes += o.gc_table_bytes;
+    gc_streamed_table_bytes += o.gc_streamed_table_bytes;
+    gc_table_chunks += o.gc_table_chunks;
     retransmits += o.retransmits;
     retransmit_bytes += o.retransmit_bytes;
     min_noise_margin_bits = std::min(min_noise_margin_bits, o.min_noise_margin_bits);

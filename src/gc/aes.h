@@ -41,18 +41,50 @@ struct Block {
 // not the AES key (Bellare–Hoang–Keelveedhi–Rogaway).
 class FixedKeyAes {
  public:
+  // Blocks interleaved through one AESENC round sequence by the batched
+  // entry points.  AESENC is pipelined hardware (~4-cycle latency, 1/cycle
+  // throughput), so eight independent blocks cost barely more than one.
+  static constexpr std::size_t kBatch = 8;
+
   FixedKeyAes();
   explicit FixedKeyAes(Block key);
 
   Block encrypt(Block x) const;
+
+  // Batched encryption: out[i] = encrypt(in[i]), bit-identical to the
+  // single-block path.  in and out may alias element-for-element.
+  void encrypt_n(const Block* in, Block* out, std::size_t n) const;
 
   // The MMO-style garbling hash: H(x, tweak) = AES(sigma(x) ^ tweak) ^
   // sigma(x) ^ tweak with sigma(x) = x doubled in GF(2^128).  Collision-
   // resistant under the fixed-key random-permutation heuristic.
   Block hash(Block x, std::uint64_t tweak) const;
 
+  // Batched hash: out[i] = hash(x[i], tweak[i]), bit-identical to the
+  // single-block path.  The garble/eval hot loops gather a dependency
+  // level's hash operands into contiguous spans and come through here.
+  void hash_n(const Block* x, const std::uint64_t* tweak, Block* out,
+              std::size_t n) const;
+
+  // Expanded key schedule (11 round keys), for callers that fuse the AES
+  // rounds into their own register-resident pipelines (the garble/eval
+  // AND-gate kernels) instead of round-tripping operands through memory.
+  const __m128i* round_keys() const { return round_keys_; }
+
  private:
   __m128i round_keys_[11];
 };
+
+// In-register GF(2^128) doubling — sigma of the garbling hash — bit-
+// identical to the scalar path: each 32-bit lane shifts left by one, the
+// three inter-lane carries are patched back in from the sign-extended lane
+// masks, and the lane-3 carry becomes the 0x87 reduction in lane 0.  Linear
+// over XOR (so sigma(a ^ delta) = sigma(a) ^ sigma(delta)).
+inline __m128i gf_double_m128(__m128i v) {
+  const __m128i lane_fix = _mm_set_epi32(0x87, 1, 1, 1);
+  __m128i carries = _mm_and_si128(_mm_srai_epi32(v, 31), lane_fix);
+  carries = _mm_shuffle_epi32(carries, _MM_SHUFFLE(2, 1, 0, 3));
+  return _mm_xor_si128(_mm_slli_epi32(v, 1), carries);
+}
 
 }  // namespace primer

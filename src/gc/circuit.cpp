@@ -1,8 +1,96 @@
 #include "gc/circuit.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace primer {
+
+// Byte stride of one wire label in the flattened gate records; mirrors
+// sizeof(Label) without pulling garble.h into the circuit layer.  16 bytes
+// caps the offset-addressable circuit at 2^28 wires, far above any circuit
+// the builder emits.
+constexpr std::uint32_t sizeof_label = 16;
+
+const CircuitLayers& Circuit::layers() const {
+  if (layers_) return *layers_;
+  auto lay = std::make_shared<CircuitLayers>();
+  // AND-depth of every wire: inputs at 0, XOR/NOT pass the max of their
+  // inputs through, each AND adds one.  Gates are emitted in topological
+  // order, so a single forward pass suffices.
+  std::vector<std::uint32_t> depth(static_cast<std::size_t>(num_wires), 0);
+  lay->and_ordinal.assign(gates.size(), 0);
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const Gate& g = gates[i];
+    std::uint32_t d = depth[static_cast<std::size_t>(g.a)];
+    if (g.type != GateType::kNot) {
+      d = std::max(d, depth[static_cast<std::size_t>(g.b)]);
+    }
+    if (g.type == GateType::kAnd) {
+      ++d;
+      lay->and_ordinal[i] = static_cast<std::uint32_t>(lay->and_count++);
+    }
+    depth[static_cast<std::size_t>(g.out)] = d;
+    if (lay->levels.size() <= d) lay->levels.resize(d + 1);
+    auto& level = lay->levels[d];
+    // Wire references in the flattened forms are byte offsets into the
+    // Label array (index * sizeof(Label)): the kernels then address labels
+    // with one load and a base register, no per-access shift/extend.
+    const auto off = [](std::int32_t wire) {
+      return static_cast<std::uint32_t>(wire) * sizeof_label;
+    };
+    if (g.type == GateType::kAnd) {
+      level.and_gates.push_back(static_cast<std::uint32_t>(i));
+      level.and_quads.push_back(off(g.a));
+      level.and_quads.push_back(off(g.b));
+      level.and_quads.push_back(off(g.out));
+      level.and_quads.push_back(lay->and_ordinal[i]);
+    } else {
+      level.free_gates.push_back(static_cast<std::uint32_t>(i));
+      level.free_triples.push_back(off(g.a));
+      level.free_triples.push_back(g.type == GateType::kXor ? off(g.b)
+                                                            : off(num_wires));
+      level.free_triples.push_back(off(g.out));
+    }
+  }
+  // Partition each level's free triples into independence waves: a greedy
+  // forward pass cuts a new wave whenever a triple reads an output written
+  // earlier in the current wave.  Outputs are unique (the builder never
+  // reuses an out wire) and a wire is always written before it is read, so
+  // read-after-write within a wave is the only hazard.  XOR trees make
+  // waves long in practice; adder sum chains are what cuts them.
+  {
+    std::unordered_set<std::uint32_t> outs;
+    for (auto& level : lay->levels) {
+      const auto& t = level.free_triples;
+      outs.clear();
+      for (std::size_t i = 0; i < t.size(); i += 3) {
+        if (outs.count(t[i]) || outs.count(t[i + 1])) {
+          level.free_wave_ends.push_back(static_cast<std::uint32_t>(i));
+          outs.clear();
+        }
+        outs.insert(t[i + 2]);
+      }
+      if (!t.empty()) {
+        level.free_wave_ends.push_back(static_cast<std::uint32_t>(t.size()));
+      }
+    }
+  }
+  // Streamed-transfer prefix watermarks: after level L, every AND ordinal
+  // below the minimum ordinal of any later level is final.
+  lay->watermark.assign(lay->levels.size(), 0);
+  std::uint32_t frontier = static_cast<std::uint32_t>(lay->and_count);
+  for (std::size_t l = lay->levels.size(); l-- > 0;) {
+    lay->watermark[l] = frontier;
+    for (const auto gi : lay->levels[l].and_gates) {
+      frontier = std::min(frontier, lay->and_ordinal[gi]);
+    }
+    lay->max_level_ands =
+        std::max(lay->max_level_ands, lay->levels[l].and_gates.size());
+  }
+  layers_ = std::move(lay);
+  return *layers_;
+}
 
 std::vector<bool> eval_circuit(const Circuit& c,
                                const std::vector<bool>& inputs) {

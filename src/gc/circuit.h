@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace primer {
@@ -25,6 +26,54 @@ struct Gate {
   std::int32_t out = -1;
 };
 
+// One dependency level of a circuit.  Every AND gate in a level depends
+// only on wires produced by strictly earlier levels, so a level's AND
+// gates can be garbled/evaluated in any order — batched through the AES
+// pipeline and fanned across the thread pool.  Free gates (XOR/NOT) at a
+// level may consume that level's AND outputs and each other, so they stay
+// in original emission order (which is topological).
+struct CircuitLevel {
+  std::vector<std::uint32_t> and_gates;   // gate indices, emission order
+  std::vector<std::uint32_t> free_gates;  // XOR/NOT gate indices, emission order
+  // The AND gates flattened to (a, b, out, ordinal) quads in the same
+  // order: one contiguous 16-byte record per gate for the garble/eval
+  // kernels, replacing two dependent indirect loads (gate index -> Gate
+  // struct, gate index -> ordinal) with one streaming read.  a/b/out are
+  // byte offsets into the label array (wire index * sizeof(Label));
+  // ordinal is the gate's raw serial AND ordinal.
+  std::vector<std::uint32_t> and_quads;
+  // The free gates flattened to (a, b, out) label byte-offset triples in
+  // the same order, for the branchless hot loop `w[out] = w[a] ^ w[b]`.
+  // NOT gates are encoded as XOR against the reserved delta wire (index
+  // num_wires), which the garbler seeds with R and the evaluator with
+  // zero — the same label algebra as the explicit kNot cases, without the
+  // per-gate Gate-struct load and type branch.
+  std::vector<std::uint32_t> free_triples;
+  // Independence waves over free_triples: end offsets (in u32 entries,
+  // multiples of 3) of maximal prefixes in which no triple reads another's
+  // output.  Triples within a wave can execute in any order — the sweep
+  // hoists all of a group's loads above its stores, which the plain
+  // emission order forbids (consecutive triples may chain, e.g. the sum
+  // bits of a ripple adder XOR through each other).  Waves execute in
+  // order; the last entry equals free_triples.size().
+  std::vector<std::uint32_t> free_wave_ends;
+};
+
+struct CircuitLayers {
+  std::vector<CircuitLevel> levels;
+  // Serial AND ordinal of every gate (0 for XOR/NOT): position of the gate
+  // among AND gates in emission order.  This fixes each AND gate's tweak
+  // pair (2*ordinal+1, 2*ordinal+2) and table-row offset 2*ordinal, so any
+  // execution order yields bit-identical tables and labels.
+  std::vector<std::uint32_t> and_ordinal;
+  // After finishing level L, every AND gate with ordinal < watermark[L]
+  // has final table rows: the contiguous prefix boundary the streamed
+  // table transfer ships as levels complete.
+  std::vector<std::uint32_t> watermark;
+  std::size_t and_count = 0;
+  std::size_t max_level_ands = 0;  // widest level (available parallelism)
+};
+
 struct Circuit {
   std::int32_t num_wires = 0;
   std::int32_t num_inputs = 0;  // wires [0, num_inputs) are circuit inputs
@@ -36,6 +85,15 @@ struct Circuit {
     for (const auto& g : gates) c += (g.type == GateType::kAnd);
     return c;
   }
+
+  // Topological AND-depth layering, computed once per circuit and shared
+  // by copies.  Not thread-safe on first call: compute before handing the
+  // same Circuit object to concurrent users (garble/eval call it up front,
+  // outside their parallel regions).
+  const CircuitLayers& layers() const;
+
+ private:
+  mutable std::shared_ptr<const CircuitLayers> layers_;
 };
 
 // Plain (non-garbled) evaluation — the reference semantics every garbling

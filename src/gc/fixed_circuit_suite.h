@@ -1,0 +1,61 @@
+// Canonical instances of every fixed nonlinear-layer circuit the Primer
+// protocols garble (identity/ReLU/GELU activations, SoftMax, LayerNorm),
+// built at test-scale parameters.  Shared by the garbling bit-equality
+// tests (serial vs batched vs threaded vs streamed) and bench_gc_micro so
+// both always cover the same circuit set.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/fixed_point.h"
+#include "gc/fixed_circuits.h"
+
+namespace primer {
+
+// ~2^20 prime with 1 mod 4096 (the test-profile plaintext modulus idiom).
+inline constexpr std::uint64_t kGcSuitePrime = 1032193;
+
+inline std::vector<std::pair<std::string, Circuit>> fixed_circuit_suite(
+    std::size_t count = 8) {
+  std::vector<std::pair<std::string, Circuit>> suite;
+
+  for (const auto& [name, act] :
+       {std::pair<const char*, Activation>{"identity", Activation::kIdentity},
+        {"relu", Activation::kRelu},
+        {"gelu", Activation::kGelu}}) {
+    ActivationCircuitSpec spec;
+    spec.t = kGcSuitePrime;
+    spec.count = count;
+    spec.frac_shift = 8;
+    spec.act = act;
+    suite.emplace_back(name, make_activation_circuit(spec));
+  }
+
+  {
+    SoftmaxCircuitSpec spec;
+    spec.t = kGcSuitePrime;
+    spec.count = count;
+    spec.frac_shift = 8;
+    suite.emplace_back("softmax", make_softmax_circuit(spec));
+  }
+
+  {
+    LayerNormCircuitSpec spec;
+    spec.t = kGcSuitePrime;
+    spec.d = count;
+    spec.frac_shift = 8;
+    spec.gamma.assign(count, fp_encode(1.0));
+    spec.beta.assign(count, fp_encode(0.0));
+    if (count > 3) {
+      spec.gamma[2] = fp_encode(1.5);
+      spec.beta[3] = fp_encode(-0.25);
+    }
+    suite.emplace_back("layernorm", make_layernorm_circuit(spec));
+  }
+
+  return suite;
+}
+
+}  // namespace primer

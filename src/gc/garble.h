@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -19,9 +21,33 @@ namespace primer {
 
 using Label = Block;
 
+// Allocator whose no-argument construct default-initializes instead of
+// value-initializing, so resize() of trivial elements skips the zero fill.
+// Only for buffers every element of which is written before being read.
+template <class T>
+struct DefaultInitAllocator : std::allocator<T> {
+  template <class U>
+  struct rebind {
+    using other = DefaultInitAllocator<U>;
+  };
+  using std::allocator<T>::allocator;
+  template <class U>
+  void construct(U* p) noexcept {
+    ::new (static_cast<void*>(p)) U;
+  }
+  template <class U, class... Args>
+  void construct(U* p, Args&&... args) {
+    ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+  }
+};
+
+// Garbled-table row storage: the garble kernels overwrite every row, so the
+// uninitialized resize avoids a table-sized memset per garble call.
+using LabelVec = std::vector<Label, DefaultInitAllocator<Label>>;
+
 struct GarbledTable {
   // Two ciphertexts per AND gate, in gate order.
-  std::vector<Label> rows;
+  LabelVec rows;
 
   std::size_t byte_size() const { return rows.size() * sizeof(Label); }
 };
@@ -39,7 +65,21 @@ class Garbler {
  public:
   explicit Garbler(Rng& rng) : rng_(rng) {}
 
+  // Invoked with (rows, row_begin, row_end) spans of the garbled table as
+  // their rows become final (dependency-level watermarks): spans are
+  // contiguous, non-overlapping, strictly increasing, and cover the whole
+  // table by the time garble() returns.  `rows` is the table base pointer;
+  // only [row_begin, row_end) is final when the sink runs.  The streamed
+  // table transfer ships each span while later levels are still garbling.
+  using RowSink =
+      std::function<void(const Label* rows, std::size_t row_begin,
+                         std::size_t row_end)>;
+
+  // Batched, level-parallel half-gates garbling.  Tweaks and table rows are
+  // indexed by each AND gate's serial ordinal, so the output is
+  // bit-identical to garble_reference() for any PRIMER_THREADS.
   GarbledCircuit garble(const Circuit& c) const;
+  GarbledCircuit garble(const Circuit& c, const RowSink& sink) const;
 
   // Active label for an input wire given its plaintext bit.
   static Label active_input(const GarbledCircuit& gc, std::size_t wire,
@@ -62,10 +102,18 @@ class Garbler {
 class GcEvaluator {
  public:
   // Evaluates the garbled circuit given active labels for all inputs;
-  // returns active labels of the outputs.
+  // returns active labels of the outputs.  Batched and level-parallel like
+  // garble(); bit-identical to eval_reference().
   static std::vector<Label> eval(const Circuit& c, const GarbledTable& table,
                                  const std::vector<Label>& active_inputs);
 };
+
+// The seed's serial single-block-AES paths, kept verbatim as the
+// bit-exactness oracle for the batched/parallel implementations and as the
+// bench baseline the >=3x throughput gate measures against.
+GarbledCircuit garble_reference(const Circuit& c, Rng& rng);
+std::vector<Label> eval_reference(const Circuit& c, const GarbledTable& table,
+                                  const std::vector<Label>& active_inputs);
 
 // End-to-end helper used by tests: garble, select input labels from plain
 // bits, evaluate, decode.

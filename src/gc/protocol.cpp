@@ -1,7 +1,9 @@
 #include "gc/protocol.h"
 
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 namespace primer {
 
@@ -43,7 +45,8 @@ std::uint64_t bits_to_value(const std::vector<bool>& bits) {
 
 namespace {
 
-std::vector<std::uint8_t> labels_to_bytes(const std::vector<Label>& labels) {
+template <class Vec>
+std::vector<std::uint8_t> labels_to_bytes(const Vec& labels) {
   std::vector<std::uint8_t> out(labels.size() * sizeof(Label));
   std::memcpy(out.data(), labels.data(), out.size());
   return out;
@@ -52,8 +55,10 @@ std::vector<std::uint8_t> labels_to_bytes(const std::vector<Label>& labels) {
 // Parses a wire payload into exactly `expected` labels; the frame layer has
 // already verified integrity, so a size mismatch here means the sender
 // framed the wrong thing — surface it as a malformed-payload error.
-std::vector<Label> labels_from_bytes(const std::vector<std::uint8_t>& bytes,
-                                     std::size_t expected, const char* what) {
+// Vec is std::vector<Label> or the table's LabelVec.
+template <class Vec = std::vector<Label>>
+Vec labels_from_bytes(const std::vector<std::uint8_t>& bytes,
+                      std::size_t expected, const char* what) {
   if (bytes.size() != expected * sizeof(Label)) {
     throw ProtocolError(ProtocolErrorKind::kMalformed,
                         std::string(what) + ": payload of " +
@@ -61,29 +66,134 @@ std::vector<Label> labels_from_bytes(const std::vector<std::uint8_t>& bytes,
                             " bytes does not hold the expected " +
                             std::to_string(expected) + " labels");
   }
-  std::vector<Label> out(expected);
+  Vec out(expected);
   std::memcpy(out.data(), bytes.data(), out.size() * sizeof(Label));
   return out;
 }
 
+// Streamed-chunk payload: u64 row_begin | u32 row_count | u32 total_rows |
+// row_count labels.  total_rows is repeated in every chunk so each one is
+// independently validatable against the evaluator's circuit.
+constexpr std::size_t kChunkHeaderBytes = 16;
+
+std::vector<std::uint8_t> encode_table_chunk(std::uint64_t row_begin,
+                                             std::uint32_t row_count,
+                                             std::uint32_t total_rows,
+                                             const Label* rows) {
+  std::vector<std::uint8_t> out(kChunkHeaderBytes +
+                                row_count * sizeof(Label));
+  std::memcpy(out.data(), &row_begin, 8);
+  std::memcpy(out.data() + 8, &row_count, 4);
+  std::memcpy(out.data() + 12, &total_rows, 4);
+  std::memcpy(out.data() + kChunkHeaderBytes, rows,
+              row_count * sizeof(Label));
+  return out;
+}
+
+[[noreturn]] void chunk_malformed(const std::string& what) {
+  throw ProtocolError(ProtocolErrorKind::kMalformed,
+                      "gc table chunk: " + what);
+}
+
 }  // namespace
+
+TableTransfer GcSession::default_table_transfer() {
+  const char* v = std::getenv("PRIMER_GC_STREAM");
+  if (v != nullptr) {
+    const std::string s(v);
+    if (s == "0" || s == "off" || s == "monolithic") {
+      return TableTransfer::kMonolithic;
+    }
+  }
+  return TableTransfer::kStreamed;
+}
 
 void GcSession::offline(const Circuit& circuit, RevealTo reveal) {
   circuit_ = circuit;
   reveal_ = reveal;
-  Stopwatch sw;
+  // Layering is computed before the timed region starts so garble and eval
+  // share one cached copy (and the parallel regions never race on it).
+  const CircuitLayers& lay = circuit_.layers();
+  const std::size_t total_rows = 2 * lay.and_count;
+
+  CpuWallTimer timer;
   Garbler garbler(rng_);
-  gc_ = garbler.garble(circuit_);
-  stats_.garble_seconds += sw.seconds();
-  stats_.and_gates += circuit_.and_count();
+  if (transfer_ == TableTransfer::kStreamed) {
+    // Ship finalized table prefixes while later levels are still garbling.
+    // Watermark spans are coalesced up to stream_chunk_rows_; the final
+    // sink call (row_end == total_rows) always flushes.
+    std::size_t sent = 0;
+    gc_ = garbler.garble(
+        circuit_, [&](const Label* rows, std::size_t, std::size_t row_end) {
+          if (row_end != total_rows && row_end - sent < stream_chunk_rows_) {
+            return;  // defer: not enough final rows for a chunk yet
+          }
+          const auto payload = encode_table_chunk(
+              sent, static_cast<std::uint32_t>(row_end - sent),
+              static_cast<std::uint32_t>(total_rows), rows + sent);
+          stats_.streamed_table_bytes += payload.size();
+          ++stats_.table_chunks;
+          channel_.send(Party::kServer, MessageKind::kGcTableChunk, payload);
+          sent = row_end;
+        });
+  } else {
+    gc_ = garbler.garble(circuit_);
+  }
+  stats_.garble_seconds += timer.wall_seconds();
+  stats_.garble_cpu_seconds += timer.cpu_seconds();
+  stats_.and_gates += lay.and_count;
   stats_.table_bytes += gc_.table.byte_size();
 
-  // Ship garbled tables to the evaluator, who parses them from the wire.
-  channel_.send(Party::kServer, MessageKind::kGcTables,
-                labels_to_bytes(gc_.table.rows));
-  client_table_.rows = labels_from_bytes(
-      channel_.recv_expect(Party::kClient, MessageKind::kGcTables),
-      gc_.table.rows.size(), "gc tables");
+  // Evaluator side: parse the tables off the wire.
+  if (transfer_ == TableTransfer::kStreamed) {
+    client_table_.rows.assign(total_rows, Label{});
+    std::size_t received = 0;
+    while (received < total_rows) {
+      const auto payload =
+          channel_.recv_expect(Party::kClient, MessageKind::kGcTableChunk);
+      if (payload.size() < kChunkHeaderBytes) {
+        chunk_malformed("payload of " + std::to_string(payload.size()) +
+                        " bytes is shorter than the chunk header");
+      }
+      std::uint64_t row_begin = 0;
+      std::uint32_t row_count = 0;
+      std::uint32_t chunk_total = 0;
+      std::memcpy(&row_begin, payload.data(), 8);
+      std::memcpy(&row_count, payload.data() + 8, 4);
+      std::memcpy(&chunk_total, payload.data() + 12, 4);
+      if (chunk_total != total_rows) {
+        chunk_malformed("chunk claims a " + std::to_string(chunk_total) +
+                        "-row table but the circuit needs " +
+                        std::to_string(total_rows));
+      }
+      if (row_begin != received) {
+        chunk_malformed("chunk starts at row " + std::to_string(row_begin) +
+                        " but " + std::to_string(received) +
+                        " rows have been received");
+      }
+      if (row_count == 0 || row_begin + row_count > total_rows) {
+        chunk_malformed("chunk of " + std::to_string(row_count) +
+                        " rows at row " + std::to_string(row_begin) +
+                        " overruns the " + std::to_string(total_rows) +
+                        "-row table");
+      }
+      if (payload.size() != kChunkHeaderBytes + row_count * sizeof(Label)) {
+        chunk_malformed("payload of " + std::to_string(payload.size()) +
+                        " bytes does not hold " + std::to_string(row_count) +
+                        " rows");
+      }
+      std::memcpy(client_table_.rows.data() + row_begin,
+                  payload.data() + kChunkHeaderBytes,
+                  row_count * sizeof(Label));
+      received += row_count;
+    }
+  } else {
+    channel_.send(Party::kServer, MessageKind::kGcTables,
+                  labels_to_bytes(gc_.table.rows));
+    client_table_.rows = labels_from_bytes<LabelVec>(
+        channel_.recv_expect(Party::kClient, MessageKind::kGcTables),
+        gc_.table.rows.size(), "gc tables");
+  }
   if (reveal == RevealTo::kEvaluator || reveal == RevealTo::kBoth) {
     // Decode bits: lsb of each output wire's false label.
     std::vector<bool> decode(gc_.output_labels0.size());
@@ -141,9 +251,10 @@ std::vector<bool> GcSession::online(const std::vector<bool>& garbler_bits,
   for (std::size_t i = 0; i < ne; ++i) active[ng + i] = chosen[i];
 
   // Evaluate (client side, using the table as received over the wire).
-  Stopwatch sw;
+  CpuWallTimer timer;
   const auto out_labels = GcEvaluator::eval(circuit_, client_table_, active);
-  stats_.eval_seconds += sw.seconds();
+  stats_.eval_seconds += timer.wall_seconds();
+  stats_.eval_cpu_seconds += timer.cpu_seconds();
 
   // Decode.
   std::vector<bool> out(out_labels.size());

@@ -44,6 +44,7 @@ enum class MessageKind : std::uint8_t {
   kOtSetup = 7,           // base-OT bootstrap traffic
   kOtReceiverColumns = 8, // IKNP receiver correction columns
   kOtSenderMasked = 9,    // IKNP sender masked label pairs
+  kGcTableChunk = 10,     // streamed garbled-table span (offline)
 };
 
 inline const char* message_kind_name(MessageKind k) {
@@ -58,6 +59,7 @@ inline const char* message_kind_name(MessageKind k) {
     case MessageKind::kOtSetup: return "ot_setup";
     case MessageKind::kOtReceiverColumns: return "ot_receiver_columns";
     case MessageKind::kOtSenderMasked: return "ot_sender_masked";
+    case MessageKind::kGcTableChunk: return "gc_table_chunk";
   }
   return "unknown";
 }

@@ -576,6 +576,14 @@ PrimerRunResult PrimerEngine::run(const std::vector<std::size_t>& tokens) {
   PhaseCost grand = off_total;
   grand += on_total;
   result.min_noise_margin_bits = grand.min_noise_margin_bits;
+  result.gc_and_gates = grand.gc_and_gates;
+  result.gc_garble_s = grand.gc_garble_seconds;
+  result.gc_garble_cpu_s = grand.gc_garble_cpu_seconds;
+  result.gc_eval_s = grand.gc_eval_seconds;
+  result.gc_eval_cpu_s = grand.gc_eval_cpu_seconds;
+  result.gc_table_bytes = grand.gc_table_bytes;
+  result.gc_streamed_table_bytes = grand.gc_streamed_table_bytes;
+  result.gc_table_chunks = grand.gc_table_chunks;
   return result;
 }
 

@@ -87,16 +87,20 @@ class GcStage {
 
   // Garble + transmit tables; charge to costs[phase][step_name].
   void offline(const std::string& phase, const std::string& step_name) {
+    const GcStats before = session_.stats();
     pc_.step(phase, step_name, [&] { session_.offline(circuit_, reveal_); });
+    charge(phase, step_name, before);
   }
 
   std::vector<bool> online(const std::string& phase,
                            const std::string& step_name,
                            const std::vector<bool>& garbler_bits,
                            const std::vector<bool>& evaluator_bits) {
+    const GcStats before = session_.stats();
     std::vector<bool> out;
     pc_.step(phase, step_name,
              [&] { out = session_.online(garbler_bits, evaluator_bits); });
+    charge(phase, step_name, before);
     return out;
   }
 
@@ -104,6 +108,26 @@ class GcStage {
   const Circuit& circuit() const { return circuit_; }
 
  private:
+  // Charges the session-stat delta of one offline/online call into the
+  // step's PhaseCost, so GC work (AND gates, garble/eval seconds, table
+  // traffic) is visible per-step next to the HE op counters.
+  void charge(const std::string& phase, const std::string& step_name,
+              const GcStats& before) {
+    const GcStats& after = session_.stats();
+    PhaseCost& cost = pc_.costs.at(phase, step_name);
+    cost.gc_and_gates += after.and_gates - before.and_gates;
+    cost.gc_garble_seconds += after.garble_seconds - before.garble_seconds;
+    cost.gc_garble_cpu_seconds +=
+        after.garble_cpu_seconds - before.garble_cpu_seconds;
+    cost.gc_eval_seconds += after.eval_seconds - before.eval_seconds;
+    cost.gc_eval_cpu_seconds +=
+        after.eval_cpu_seconds - before.eval_cpu_seconds;
+    cost.gc_table_bytes += after.table_bytes - before.table_bytes;
+    cost.gc_streamed_table_bytes +=
+        after.streamed_table_bytes - before.streamed_table_bytes;
+    cost.gc_table_chunks += after.table_chunks - before.table_chunks;
+  }
+
   ProtocolContext& pc_;
   GcSession session_;
   Circuit circuit_;

@@ -276,6 +276,16 @@ std::vector<std::uint8_t> payload_for(MessageKind kind) {
     case MessageKind::kGcTables:
     case MessageKind::kGcGarblerLabels:
       return std::vector<std::uint8_t>(8 * sizeof(Label), 0xab);
+    case MessageKind::kGcTableChunk: {
+      // u64 row_begin | u32 row_count | u32 total_rows | rows.
+      std::vector<std::uint8_t> chunk(16 + 8 * sizeof(Label), 0xab);
+      const std::uint64_t row_begin = 0;
+      const std::uint32_t row_count = 8, total_rows = 8;
+      std::memcpy(chunk.data(), &row_begin, 8);
+      std::memcpy(chunk.data() + 8, &row_count, 4);
+      std::memcpy(chunk.data() + 12, &total_rows, 4);
+      return chunk;
+    }
     case MessageKind::kGcDecodeBits:
     case MessageKind::kGcOutputBits:
       return {0b10110010, 0b00000001};
@@ -298,6 +308,7 @@ TEST(CorruptionMatrix, EveryKindEveryFaultThrowsTyped) {
       MessageKind::kGcDecodeBits,    MessageKind::kGcGarblerLabels,
       MessageKind::kGcOutputBits,    MessageKind::kOtSetup,
       MessageKind::kOtReceiverColumns, MessageKind::kOtSenderMasked,
+      MessageKind::kGcTableChunk,
   };
   enum class Fault { kTruncateHeader, kTruncatePayload, kBitflip, kWrongKind, kReplay };
   const Fault faults[] = {Fault::kTruncateHeader, Fault::kTruncatePayload,
@@ -323,7 +334,7 @@ TEST(CorruptionMatrix, EveryKindEveryFaultThrowsTyped) {
           break;
         case Fault::kWrongKind:
           frame[FrameHeader::kKindOffset] =
-              static_cast<std::uint8_t>((static_cast<int>(kind) + 1) % 10);
+              static_cast<std::uint8_t>((static_cast<int>(kind) + 1) % 11);
           reseal_frame(frame);  // checksum-valid, semantically wrong
           break;
         case Fault::kReplay:
@@ -401,6 +412,7 @@ TEST(CorruptionMatrix, GcLabelPayloadSizeMismatchIsMalformed) {
   FramedChannel fch(ch, FaultSpec{}, no_retry());
   Rng rng(21);
   GcSession session(fch, rng);
+  session.set_table_transfer(TableTransfer::kMonolithic);
   // Pre-load a checksum-valid kGcTables frame whose payload is one label
   // short of what the circuit requires; offline() must reject it.
   const std::size_t table_labels = 2 * circ.and_count();
@@ -417,6 +429,53 @@ TEST(CorruptionMatrix, GcLabelPayloadSizeMismatchIsMalformed) {
   }
 }
 
+TEST(CorruptionMatrix, GcTableChunkStructuralDefectsAreMalformed) {
+  const std::uint64_t t = 257;
+  const std::size_t w = share_width(t);
+  CircuitBuilder b;
+  const Bus sg = b.add_input_bus(w);
+  const Bus se = b.add_input_bus(w);
+  b.set_outputs(b.add_mod(sg, se, t));
+  const Circuit circ = b.build();
+  const std::uint32_t total = static_cast<std::uint32_t>(2 * circ.and_count());
+
+  // Checksum-valid kGcTableChunk frames with every structural defect the
+  // streamed parser must reject: each is pre-loaded at seq 0 so the
+  // evaluator parses it before the session's own (seq >= 1) chunks.
+  auto chunk = [&](std::uint64_t row_begin, std::uint32_t row_count,
+                   std::uint32_t total_rows, std::size_t body_labels) {
+    std::vector<std::uint8_t> p(16 + body_labels * sizeof(Label), 0xcd);
+    std::memcpy(p.data(), &row_begin, 8);
+    std::memcpy(p.data() + 8, &row_count, 4);
+    std::memcpy(p.data() + 12, &total_rows, 4);
+    return p;
+  };
+  const std::vector<std::pair<const char*, std::vector<std::uint8_t>>> bad = {
+      {"short header", std::vector<std::uint8_t>(7, 0xcd)},
+      {"wrong total", chunk(0, 2, total + 2, 2)},
+      {"begin skips ahead", chunk(2, 2, total, 2)},
+      {"zero rows", chunk(0, 0, total, 0)},
+      {"overruns table", chunk(0, total + 2, total, total + 2)},
+      {"body/count mismatch", chunk(0, 2, total, 1)},
+  };
+  for (const auto& [what, payload] : bad) {
+    SCOPED_TRACE(what);
+    Channel ch;
+    FramedChannel fch(ch, FaultSpec{}, no_retry());
+    Rng rng(21);
+    GcSession session(fch, rng);
+    session.set_table_transfer(TableTransfer::kStreamed);
+    ch.send(Party::kServer, encode_frame(MessageKind::kGcTableChunk, 0,
+                                         payload.data(), payload.size()));
+    try {
+      session.offline(circ, RevealTo::kBoth);
+      FAIL() << "expected ProtocolError";
+    } catch (const ProtocolError& e) {
+      EXPECT_EQ(e.kind(), ProtocolErrorKind::kMalformed) << e.what();
+    }
+  }
+}
+
 // --- retry / recovery --------------------------------------------------------
 
 TEST(RetryLayer, GcSessionRecoversUnderDropDupReorder) {
@@ -429,34 +488,44 @@ TEST(RetryLayer, GcSessionRecoversUnderDropDupReorder) {
   const Circuit circ = b.build();
   const std::uint64_t x = 40000, y = 30000;
 
-  auto run = [&](const FaultSpec& spec) {
+  auto run = [&](const FaultSpec& spec, TableTransfer transfer) {
     Channel ch;
     FramedChannel fch(ch, spec, RetryPolicy{});
     Rng rng(77);
     GcSession session(fch, rng);
+    session.set_table_transfer(transfer);
+    // Tiny chunks force many kGcTableChunk frames through the lossy wire.
+    session.set_stream_chunk_rows(2);
     session.offline(circ, RevealTo::kBoth);
     const auto out =
         session.online(value_to_bits(x, w), value_to_bits(y, w));
     return std::make_pair(bits_to_value(out), fch.stats());
   };
 
-  const auto clean = run(FaultSpec{});
-  ASSERT_EQ(clean.first, (x + y) % t);
-  EXPECT_EQ(clean.second.retransmit_frames, 0u);
-
   FaultSpec lossy;
   lossy.seed = 2024;
   lossy.drop = 0.25;
   lossy.duplicate = 0.25;
   lossy.reorder = 0.25;
-  const auto faulty = run(lossy);
-  // Bit-identical result despite the injected faults...
-  EXPECT_EQ(faulty.first, clean.first);
-  // ...and the recovery work is visible, not silent.
-  EXPECT_GT(faulty.second.retransmit_frames +
-                faulty.second.duplicates_dropped + faulty.second.retry_rounds,
-            0u);
-  EXPECT_GT(faulty.second.retransmit_bytes + faulty.second.control_bytes, 0u);
+
+  for (const TableTransfer transfer :
+       {TableTransfer::kMonolithic, TableTransfer::kStreamed}) {
+    SCOPED_TRACE(transfer == TableTransfer::kStreamed ? "streamed"
+                                                      : "monolithic");
+    const auto clean = run(FaultSpec{}, transfer);
+    ASSERT_EQ(clean.first, (x + y) % t);
+    EXPECT_EQ(clean.second.retransmit_frames, 0u);
+
+    const auto faulty = run(lossy, transfer);
+    // Bit-identical result despite the injected faults...
+    EXPECT_EQ(faulty.first, clean.first);
+    // ...and the recovery work is visible, not silent.
+    EXPECT_GT(faulty.second.retransmit_frames +
+                  faulty.second.duplicates_dropped + faulty.second.retry_rounds,
+              0u);
+    EXPECT_GT(faulty.second.retransmit_bytes + faulty.second.control_bytes,
+              0u);
+  }
 }
 
 struct EnvGuard {
