@@ -455,16 +455,42 @@ void bench_framing(HeFixture& f, const char* label, const Options& opt) {
       delta_per_byte * static_cast<double>(run.total_bytes);
   const double e2e_ratio = run_e2e_s > 0.0 ? framing_cost_s / run_e2e_s : 0.0;
 
+  // Session-resilience overhead: the same inference with checkpointing and
+  // the resume handshake on.  The only extra wire traffic is the two
+  // handshake frames (checkpoints are persisted locally, never shipped), and
+  // the only extra CPU is checkpoint serialization, micro-measured below —
+  // both deterministic, so the <2% gate cannot flake on host noise.
+  Rng weight_rng2(2025);
+  PrimerEngine resilient(
+      quantize(BertWeightsD::random(bert_nano(), weight_rng2)),
+      PrimerVariant::kFP, HeProfile::kProto2048);
+  SessionStore store;
+  const PrimerRunResult rrun = resilient.run_resilient({3, 17, 9, 28}, store);
+  const auto cp = store.load(Party::kClient,
+                             store.latest_epoch(Party::kClient));
+  const double cp_serialize_s = time_loop([&] {
+    ByteWriter cw;
+    cp->serialize(cw);
+    (void)cw.take();
+  });
+  const NetworkModel net;
+  const double session_cost_s =
+      2.0 * net.one_way_delay_s +
+      static_cast<double>(rrun.handshake_bytes) / net.bandwidth_bytes_per_s +
+      2.0 * cp_serialize_s * static_cast<double>(rrun.checkpoints);
+  const double session_ratio =
+      run_e2e_s > 0.0 ? session_cost_s / run_e2e_s : 0.0;
+
   const double byte_ratio =
       static_cast<double>(FrameHeader::kWireSize) /
       static_cast<double>(payload.size() + FrameHeader::kWireSize);
   if (!opt.json_only) {
     std::printf(
         "%-24s %-10s payload=%zuB header=%zuB bytes+%.4f%%  "
-        "raw=%.9fs framed=%.9fs  e2e+%.4f%%\n",
+        "raw=%.9fs framed=%.9fs  e2e+%.4f%%  session+%.4f%%\n",
         "framing_overhead", label, payload.size(),
         static_cast<std::size_t>(FrameHeader::kWireSize), 100.0 * byte_ratio,
-        raw_s, framed_s, 100.0 * e2e_ratio);
+        raw_s, framed_s, 100.0 * e2e_ratio, 100.0 * session_ratio);
   }
   std::printf(
       "JSON {\"bench\":\"framing_overhead\",\"label\":\"%s\",\"kernel\":\"%s\","
@@ -472,12 +498,17 @@ void bench_framing(HeFixture& f, const char* label, const Options& opt) {
       "\"byte_overhead_ratio\":%.9f,\"raw_wall_s_per_op\":%.9f,"
       "\"framed_wall_s_per_op\":%.9f,\"wall_delta_s_per_op\":%.9f,"
       "\"run_total_bytes\":%llu,\"run_e2e_s\":%.6f,"
-      "\"framing_cost_s\":%.6f,\"e2e_overhead_ratio\":%.9f}\n",
+      "\"framing_cost_s\":%.6f,\"e2e_overhead_ratio\":%.9f,"
+      "\"session_checkpoints\":%u,\"session_handshake_bytes\":%llu,"
+      "\"session_store_bytes\":%zu,\"session_checkpoint_serialize_s\":%.9f,"
+      "\"session_cost_s\":%.6f,\"session_e2e_overhead_ratio\":%.9f}\n",
       label, f.ctx.kernel_name(), payload.size(),
       static_cast<std::size_t>(FrameHeader::kWireSize), byte_ratio, raw_s,
       framed_s, framed_s - raw_s,
       static_cast<unsigned long long>(run.total_bytes), run_e2e_s,
-      framing_cost_s, e2e_ratio);
+      framing_cost_s, e2e_ratio, rrun.checkpoints,
+      static_cast<unsigned long long>(rrun.handshake_bytes),
+      store.blob_bytes(), cp_serialize_s, session_cost_s, session_ratio);
 }
 
 void run_suite(const Options& opt) {

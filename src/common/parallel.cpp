@@ -1,5 +1,7 @@
 #include "common/parallel.h"
 
+#include "common/cancel.h"
+
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
@@ -19,6 +21,9 @@ namespace {
 // either as a pool worker or as the dispatching thread participating in its
 // own loop.  Nested parallel_for calls check this and run inline.
 thread_local bool tl_in_parallel = false;
+
+// Cancellation token polled at chunk boundaries (null = no cancellation).
+std::atomic<const CancelToken*> g_cancel{nullptr};
 
 // One dispatched loop: workers claim [begin, end) chunks via an atomic
 // cursor, so the partition adapts to uneven chunk costs.
@@ -82,12 +87,14 @@ class ThreadPool {
   static void run_task(Task& task) {
     const bool was_in_parallel = tl_in_parallel;
     tl_in_parallel = true;
+    const CancelToken* cancel = g_cancel.load(std::memory_order_acquire);
     for (;;) {
       const std::size_t lo =
           task.next.fetch_add(task.chunk, std::memory_order_relaxed);
       if (lo >= task.end) break;
       const std::size_t hi = std::min(lo + task.chunk, task.end);
       try {
+        if (cancel != nullptr) cancel->check("parallel_for chunk");
         (*task.body)(lo, hi);
       } catch (...) {
         std::lock_guard<std::mutex> lk(task.error_mu);
@@ -158,7 +165,10 @@ Executor& executor() {
 
 void serial_run(std::size_t begin, std::size_t end,
                 const std::function<void(std::size_t, std::size_t)>& body) {
-  if (begin < end) body(begin, end);
+  if (begin >= end) return;
+  const CancelToken* cancel = g_cancel.load(std::memory_order_acquire);
+  if (cancel != nullptr) cancel->check("parallel_for serial region");
+  body(begin, end);
 }
 
 void dispatch(std::size_t begin, std::size_t end, std::size_t grains,
@@ -185,6 +195,10 @@ void dispatch(std::size_t begin, std::size_t end, std::size_t grains,
 }
 
 }  // namespace
+
+void set_parallel_cancel_token(const CancelToken* token) {
+  g_cancel.store(token, std::memory_order_release);
+}
 
 std::size_t hardware_threads() {
   const unsigned hc = std::thread::hardware_concurrency();

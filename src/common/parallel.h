@@ -26,6 +26,15 @@
 
 namespace primer {
 
+class CancelToken;
+
+// Installs (or clears, with nullptr) a cancellation token the executor
+// polls at chunk boundaries: when the token fires, workers stop claiming
+// chunks and OperationCancelled is rethrown on the dispatching thread.
+// Cancellation is cooperative — a chunk body already running completes.
+// One global slot; the session layer installs it for the duration of a run.
+void set_parallel_cancel_token(const CancelToken* token);
+
 // Number of threads the global executor is configured to use (>= 1).
 std::size_t num_threads();
 

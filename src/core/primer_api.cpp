@@ -57,6 +57,17 @@ InferenceResult PrivateInferenceSession::infer(
   return r;
 }
 
+InferenceResult PrivateInferenceSession::infer_resilient(
+    const std::vector<std::size_t>& tokens, SessionStore& store,
+    int max_restarts) {
+  InferenceResult r;
+  r.run = engine_.run_resilient(tokens, store, max_restarts);
+  r.logits = r.run.logits;
+  r.predicted = r.run.predicted;
+  for (const auto v : r.logits) r.logits_real.push_back(fp_decode(v));
+  return r;
+}
+
 std::vector<std::int64_t> PrivateInferenceSession::reference_logits(
     const std::vector<std::size_t>& tokens) const {
   if (engine_.variant() == PrimerVariant::kFPC) {

@@ -51,6 +51,13 @@ class PrivateInferenceSession {
 
   InferenceResult infer(const std::vector<std::size_t>& tokens);
 
+  // Like infer(), but checkpointing into `store` and surviving retryable
+  // transport failures (injected kills, stalls, exhausted retries) by
+  // resuming from the last common checkpoint — up to `max_restarts` times.
+  // The output is bit-identical to an unfaulted infer().
+  InferenceResult infer_resilient(const std::vector<std::size_t>& tokens,
+                                  SessionStore& store, int max_restarts = 5);
+
   // The plaintext fixed-point reference the protocol must match bit-exactly
   // (variants kBase/kF/kFP) or track closely (kFPC).
   std::vector<std::int64_t> reference_logits(

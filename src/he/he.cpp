@@ -67,14 +67,14 @@ KSwitchKey KeyGenerator::make_kswitch_key(const RnsPoly& target_ntt,
   return key;
 }
 
-RnsPoly KeyGenerator::shoup_table(const RnsPoly& key_part) const {
+RnsPoly compute_shoup_table(const HeContext& ctx, const RnsPoly& key_part) {
   RnsPoly out(key_part.rns_size(), key_part.degree(), key_part.ntt_form);
   for (std::size_t j = 0; j < key_part.rns_size(); ++j) {
-    const u64 qj = ctx_.q(j);
+    const u64 qj = ctx.q(j);
     // The quotient scale follows the kernel set that will consume this
     // table in shoup_mul_acc_lazy2 (64-bit convention for scalar/avx2/
     // avx512, 52-bit for avx512ifma).
-    const unsigned shift = ctx_.kernels(j).shoup_shift;
+    const unsigned shift = ctx.kernels(j).shoup_shift;
     const u64* src = key_part.limb(j);
     u64* dst = out.limb(j);
     for (std::size_t x = 0; x < key_part.degree(); ++x) {
@@ -82,6 +82,10 @@ RnsPoly KeyGenerator::shoup_table(const RnsPoly& key_part) const {
     }
   }
   return out;
+}
+
+RnsPoly KeyGenerator::shoup_table(const RnsPoly& key_part) const {
+  return compute_shoup_table(ctx_, key_part);
 }
 
 RelinKey KeyGenerator::make_relin_key() {
@@ -184,7 +188,16 @@ Ciphertext Encryptor::encrypt(const Plaintext& pt) const {
 // ---------------------------------------------------------------------------
 
 Decryptor::Decryptor(const HeContext& ctx, const SecretKey& sk)
-    : ctx_(ctx), sk_(sk) {}
+    : ctx_(ctx), sk_(sk) {
+  const char* v = std::getenv("PRIMER_NOISE_FLOOR_BITS");
+  if (v != nullptr && *v != '\0') {
+    try {
+      floor_bits_ = std::max(0.0, std::stod(v));
+    } catch (const std::exception&) {
+      floor_bits_ = 0.0;
+    }
+  }
+}
 
 RnsPoly Decryptor::dot_with_key_powers(const Ciphertext& ct) const {
   if (ct.empty()) throw std::invalid_argument("decrypt: empty ciphertext");
@@ -206,7 +219,7 @@ RnsPoly Decryptor::dot_with_key_powers(const Ciphertext& ct) const {
 
 Plaintext Decryptor::decrypt(const Ciphertext& ct) const {
   double budget = estimated_budget(ct);
-  if (budget <= 0.0) {
+  if (budget <= floor_bits_) {
     // The tracked estimate is a worst-case screen and can exhaust on
     // profiles whose q is deliberately undersized (kTest2048) while the
     // actual noise is still fine.  Before refusing, measure the ground
@@ -214,7 +227,10 @@ Plaintext Decryptor::decrypt(const Ciphertext& ct) const {
     // A wrapped ciphertext measures within ~0.001 bits of the cliff (its
     // noise is uniform mod q), so anything under 0.01 bits is garbage.
     budget = noise_budget(ct);
-    if (budget < 0.01) {
+    if (budget < 0.01 + floor_bits_) {
+      // The refused decryption's margin still feeds the telemetry: the
+      // engine's partial result reports how close to the cliff it died.
+      record_margin(budget);
       throw NoiseBudgetExhausted(budget, ct.noise_log2);
     }
   }

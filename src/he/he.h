@@ -93,6 +93,13 @@ class KeyGenerator {
   SecretKey sk_;
 };
 
+// Elementwise Shoup quotients floor(elem << shoup_shift / q_j) of a key
+// polynomial.  Depends only on the public modulus chain, so key material
+// shipped over the wire (see ProtocolContext::transfer_keys) carries just
+// the (b, a) pairs and the receiver recomputes its quotient tables with
+// this — bit-identical to the generator's, since it is the same code.
+RnsPoly compute_shoup_table(const HeContext& ctx, const RnsPoly& key_part);
+
 class Encryptor {
  public:
   // Symmetric-key encryptor (the client, who owns sk).  Fresh symmetric
@@ -161,6 +168,11 @@ class Decryptor {
   // thread pool) — this is the per-step noise margin the runtime reports.
   double take_min_margin() const;
 
+  // Operational floor (bits) below which decryption refuses even when the
+  // measured budget is technically positive — a deployment guard-band set
+  // with PRIMER_NOISE_FLOOR_BITS (default 0: only true exhaustion throws).
+  double noise_floor_bits() const { return floor_bits_; }
+
  private:
   Plaintext decrypt_unchecked(const Ciphertext& ct) const;
   RnsPoly dot_with_key_powers(const Ciphertext& ct) const;
@@ -168,6 +180,7 @@ class Decryptor {
 
   const HeContext& ctx_;
   const SecretKey& sk_;
+  double floor_bits_ = 0.0;
   mutable std::atomic<double> min_margin_{
       std::numeric_limits<double>::infinity()};
 };

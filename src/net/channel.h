@@ -48,6 +48,14 @@ class Channel {
   // data frame.
   void charge_control(Party from, std::size_t bytes) { charge(from, bytes); }
 
+  // Places a message in the receiver's queue without charging the wire:
+  // used by session resume to re-deliver checkpoint-covered frames the peer
+  // already holds — those bytes crossed the wire in a previous attempt and
+  // paying for them again would double-count the session's traffic.
+  void deliver_local(Party from, std::vector<std::uint8_t> msg) {
+    queue_[static_cast<int>(other(from))].push_back(std::move(msg));
+  }
+
   // Extra simulated latency (retry backoff, injected delivery delay).
   void add_simulated_delay(double seconds) {
     if (seconds > 0) simulated_seconds_ += seconds;

@@ -39,7 +39,24 @@ FaultSpec FaultSpec::from_env() {
   s.bitflip = env_double("PRIMER_FAULT_BITFLIP", s.bitflip);
   s.delay = env_double("PRIMER_FAULT_DELAY", s.delay);
   s.delay_s = env_double("PRIMER_FAULT_DELAY_S", s.delay_s);
+  s.kill_after = env_u64("PRIMER_FAULT_KILL_AFTER", s.kill_after);
+  s.stall_after = env_u64("PRIMER_FAULT_STALL_AFTER", s.stall_after);
+  s.stall_s = env_double("PRIMER_FAULT_STALL_S", s.stall_s);
   return s;
+}
+
+FaultInjector::WireEvent FaultInjector::on_wire_frame() {
+  WireEvent ev;
+  ev.frame_index = ++wire_frames_;
+  if (spec_.stall_after != 0 && ev.frame_index == spec_.stall_after) {
+    ++counters_.stalled;
+    ev.stall_s = spec_.stall_s;
+  }
+  if (spec_.kill_after != 0 && ev.frame_index == spec_.kill_after) {
+    ++counters_.killed;
+    ev.kill = true;
+  }
+  return ev;
 }
 
 bool FaultInjector::roll(double p) {

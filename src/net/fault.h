@@ -16,6 +16,14 @@
 //   PRIMER_FAULT_BITFLIP   P(one random bit flipped)
 //   PRIMER_FAULT_DELAY     P(extra delivery delay charged)
 //   PRIMER_FAULT_DELAY_S   seconds of extra delay when the delay roll hits
+//
+// Two deterministic (non-probabilistic) triggers model peer death and
+// peer hangs at an exact, replayable point in the protocol:
+//
+//   PRIMER_FAULT_KILL_AFTER   kill the sending process at the Nth wire
+//                             frame (1-based; 0 disables)
+//   PRIMER_FAULT_STALL_AFTER  stall delivery of the Nth wire frame
+//   PRIMER_FAULT_STALL_S      seconds the stall lasts (simulated time)
 #pragma once
 
 #include <cstdint>
@@ -34,10 +42,18 @@ struct FaultSpec {
   double bitflip = 0.0;
   double delay = 0.0;
   double delay_s = 0.01;
+  std::uint64_t kill_after = 0;   // kill at the Nth wire frame (0 = off)
+  std::uint64_t stall_after = 0;  // stall the Nth wire frame (0 = off)
+  double stall_s = 30.0;          // stall duration (simulated seconds)
 
-  bool any() const {
+  // Probabilistic per-frame faults (the corruption path).
+  bool any_random() const {
     return drop > 0 || duplicate > 0 || reorder > 0 || truncate > 0 ||
            bitflip > 0 || delay > 0;
+  }
+
+  bool any() const {
+    return any_random() || kill_after > 0 || stall_after > 0;
   }
 
   // Reads PRIMER_FAULT_* from the environment; unset knobs keep defaults.
@@ -65,6 +81,18 @@ class FaultInjector {
   // retransmissions, where reordering again would defeat recovery.
   Outcome apply(const std::vector<std::uint8_t>& frame, bool allow_hold);
 
+  // Deterministic liveness triggers, evaluated once per frame that reaches
+  // the wire (retransmissions included — a real crash does not care which
+  // copy of a frame the process was sending).
+  struct WireEvent {
+    std::uint64_t frame_index = 0;  // 1-based wire frame counter
+    bool kill = false;              // caller must abandon the process
+    double stall_s = 0.0;           // extra delivery delay to charge
+  };
+  WireEvent on_wire_frame();
+
+  std::uint64_t wire_frames() const { return wire_frames_; }
+
   struct Counters {
     std::uint64_t dropped = 0;
     std::uint64_t duplicated = 0;
@@ -72,9 +100,11 @@ class FaultInjector {
     std::uint64_t truncated = 0;
     std::uint64_t bitflipped = 0;
     std::uint64_t delayed = 0;
+    std::uint64_t killed = 0;
+    std::uint64_t stalled = 0;
     std::uint64_t total() const {
       return dropped + duplicated + reordered + truncated + bitflipped +
-             delayed;
+             delayed + killed + stalled;
     }
   };
   const Counters& counters() const { return counters_; }
@@ -87,6 +117,7 @@ class FaultInjector {
   FaultSpec spec_;
   Rng rng_;
   Counters counters_;
+  std::uint64_t wire_frames_ = 0;
 };
 
 }  // namespace primer

@@ -45,7 +45,13 @@ enum class MessageKind : std::uint8_t {
   kOtReceiverColumns = 8, // IKNP receiver correction columns
   kOtSenderMasked = 9,    // IKNP sender masked label pairs
   kGcTableChunk = 10,     // streamed garbled-table span (offline)
+  kSessionHello = 11,     // resume handshake: party's checkpoint inventory
+  kSessionResume = 12,    // resume handshake: agreed epoch + digest
+  kKeyMaterial = 13,      // evaluation keys (Galois / relinearization)
 };
+
+// Number of distinct wire kinds; sized for per-kind inventory arrays.
+inline constexpr std::size_t kMessageKindCount = 14;
 
 inline const char* message_kind_name(MessageKind k) {
   switch (k) {
@@ -60,6 +66,9 @@ inline const char* message_kind_name(MessageKind k) {
     case MessageKind::kOtReceiverColumns: return "ot_receiver_columns";
     case MessageKind::kOtSenderMasked: return "ot_sender_masked";
     case MessageKind::kGcTableChunk: return "gc_table_chunk";
+    case MessageKind::kSessionHello: return "session_hello";
+    case MessageKind::kSessionResume: return "session_resume";
+    case MessageKind::kKeyMaterial: return "key_material";
   }
   return "unknown";
 }
@@ -73,6 +82,10 @@ enum class ProtocolErrorKind {
   kSequenceGap,       // expected sequence number never arrived
   kRetriesExhausted,  // retry/backoff gave up recovering a frame
   kMalformed,         // frame valid, payload failed structural validation
+  kPeerKilled,        // fault injector killed the sending process mid-phase
+  kDeadlineExceeded,  // a phase overran its deadline budget (see session.h)
+  kResumeRejected,    // resume handshake refused (session/params mismatch)
+  kResumeDiverged,    // replayed frame does not match the journaled CRC
 };
 
 inline const char* protocol_error_kind_name(ProtocolErrorKind k) {
@@ -85,8 +98,38 @@ inline const char* protocol_error_kind_name(ProtocolErrorKind k) {
     case ProtocolErrorKind::kSequenceGap: return "sequence_gap";
     case ProtocolErrorKind::kRetriesExhausted: return "retries_exhausted";
     case ProtocolErrorKind::kMalformed: return "malformed";
+    case ProtocolErrorKind::kPeerKilled: return "peer_killed";
+    case ProtocolErrorKind::kDeadlineExceeded: return "deadline_exceeded";
+    case ProtocolErrorKind::kResumeRejected: return "resume_rejected";
+    case ProtocolErrorKind::kResumeDiverged: return "resume_diverged";
   }
   return "unknown";
+}
+
+// Retryable failures are transient: the wire lost/garbled/withheld data, or
+// a peer died or stalled.  A fresh attempt — after a session-resume
+// handshake replays the checkpointed prefix — can succeed.  Fatal failures
+// mean the peer speaks a different protocol, the payload is structurally
+// hostile, or the two parties' checkpoint histories disagree: retrying
+// would loop on the same defect forever.
+constexpr bool protocol_error_retryable(ProtocolErrorKind k) {
+  switch (k) {
+    case ProtocolErrorKind::kTruncated:
+    case ProtocolErrorKind::kChecksumMismatch:
+    case ProtocolErrorKind::kSequenceGap:
+    case ProtocolErrorKind::kRetriesExhausted:
+    case ProtocolErrorKind::kPeerKilled:
+    case ProtocolErrorKind::kDeadlineExceeded:
+      return true;
+    case ProtocolErrorKind::kBadMagic:
+    case ProtocolErrorKind::kBadVersion:
+    case ProtocolErrorKind::kKindMismatch:
+    case ProtocolErrorKind::kMalformed:
+    case ProtocolErrorKind::kResumeRejected:
+    case ProtocolErrorKind::kResumeDiverged:
+      return false;
+  }
+  return false;
 }
 
 // Every transport-layer failure surfaces as this exception, tagged with the
@@ -100,9 +143,34 @@ class ProtocolError : public std::runtime_error {
         kind_(kind) {}
 
   ProtocolErrorKind kind() const { return kind_; }
+  bool retryable() const { return protocol_error_retryable(kind_); }
 
  private:
   ProtocolErrorKind kind_;
+};
+
+// A phase overran its deadline budget.  Carries the phase label and the
+// elapsed/budget split so callers can distinguish a slow phase from a hang.
+class DeadlineExceeded : public ProtocolError {
+ public:
+  DeadlineExceeded(const std::string& phase, double elapsed_s,
+                   double budget_s, const std::string& where)
+      : ProtocolError(ProtocolErrorKind::kDeadlineExceeded,
+                      where + ": phase '" + phase + "' exceeded its " +
+                          std::to_string(budget_s) + "s budget (" +
+                          std::to_string(elapsed_s) + "s elapsed)"),
+        phase_(phase),
+        elapsed_s_(elapsed_s),
+        budget_s_(budget_s) {}
+
+  const std::string& phase() const { return phase_; }
+  double elapsed_s() const { return elapsed_s_; }
+  double budget_s() const { return budget_s_; }
+
+ private:
+  std::string phase_;
+  double elapsed_s_;
+  double budget_s_;
 };
 
 struct FrameHeader {

@@ -1,6 +1,7 @@
 #include "net/framed_channel.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <stdexcept>
@@ -30,11 +31,6 @@ int env_int(const char* name, int fallback) {
   }
 }
 
-std::string describe(Party to, MessageKind expect) {
-  return std::string(party_name(to)) + " awaiting " +
-         message_kind_name(expect);
-}
-
 }  // namespace
 
 RetryPolicy RetryPolicy::from_env() {
@@ -44,10 +40,41 @@ RetryPolicy RetryPolicy::from_env() {
   return p;
 }
 
+std::string FramedChannel::describe(Party to) const {
+  std::string s;
+  if (session_id_ != 0) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "sess %llx#%u ",
+                  static_cast<unsigned long long>(session_id_), epoch_);
+    s += buf;
+  }
+  s += party_name(to);
+  s += "<-";
+  s += party_name(other(to));
+  return s;
+}
+
 void FramedChannel::transmit(Party from, DirState& dir,
                              std::vector<std::uint8_t> frame,
                              bool allow_hold) {
-  if (!injector_.spec().any()) {
+  const FaultInjector::WireEvent ev = injector_.on_wire_frame();
+  if (ev.stall_s > 0) {
+    ch_.add_simulated_delay(ev.stall_s);
+    // The stall is charged before the deadline poll, so a stall longer
+    // than the phase budget trips deterministically at this exact frame.
+    if (deadline_ != nullptr) {
+      deadline_->check(describe(other(from)) + ": stalled wire frame " +
+                       std::to_string(ev.frame_index));
+    }
+  }
+  if (ev.kill) {
+    throw ProtocolError(
+        ProtocolErrorKind::kPeerKilled,
+        describe(other(from)) + ": " + std::string(party_name(from)) +
+            " process killed at wire frame " + std::to_string(ev.frame_index) +
+            " (PRIMER_FAULT_KILL_AFTER)");
+  }
+  if (!injector_.spec().any_random()) {
     ch_.send(from, std::move(frame));
     return;
   }
@@ -67,11 +94,36 @@ void FramedChannel::send(Party from, MessageKind kind,
                             std::to_string(n) +
                             " bytes exceeds the u32 length field");
   }
-  DirState& dir = dir_[static_cast<int>(from)];
+  const int fi = static_cast<int>(from);
+  DirState& dir = dir_[fi];
   const std::uint64_t seq = dir.next_send_seq++;
   std::vector<std::uint8_t> frame = encode_frame(kind, seq, payload, n);
+  std::uint32_t crc = 0;
+  std::memcpy(&crc, frame.data() + FrameHeader::kCrcOffset, 4);
+  if (journal_on_) journal_[fi].push_back(crc);
   ++stats_.frames_sent;
   stats_.framing_bytes += FrameHeader::kWireSize;
+
+  // Checkpoint-covered prefix: the peer already holds this frame from a
+  // previous attempt.  Verify determinism against the journaled CRC and
+  // deliver locally — no wire charge, no fault injection.
+  if (seq < plan_.virtual_until[fi]) {
+    const std::uint32_t expect = plan_.expect_crc[fi][seq];
+    if (crc != expect) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "CRC %08x, journal says %08x", crc,
+                    expect);
+      throw ProtocolError(
+          ProtocolErrorKind::kResumeDiverged,
+          describe(other(from)) + ": replayed " + message_kind_name(kind) +
+              " frame seq " + std::to_string(seq) + " re-encoded with " +
+              buf + " — deterministic replay diverged");
+    }
+    ++stats_.replayed_frames;
+    stats_.replayed_bytes += frame.size();
+    ch_.deliver_local(from, std::move(frame));
+    return;
+  }
 
   // A frame the injector held back is released only after the *next* send
   // in the same direction — that is what makes it a reordering.
@@ -93,19 +145,45 @@ void FramedChannel::send(Party from, MessageKind kind,
   if (has_release) ch_.send(from, std::move(release));
 }
 
+void FramedChannel::begin_session(std::uint64_t session_id,
+                                  std::uint32_t epoch,
+                                  const ReplayPlan& plan) {
+  session_id_ = session_id;
+  epoch_ = epoch;
+  // Drain handshake residue (duplicates / reordered copies still queued):
+  // their old sequence numbers would collide with the reset space.
+  for (Party p : {Party::kClient, Party::kServer}) {
+    while (ch_.has_pending(p)) {
+      ch_.recv(p);
+      ++stats_.duplicates_dropped;
+    }
+  }
+  for (int d = 0; d < 2; ++d) {
+    dir_[d] = DirState{};
+    journal_[d].clear();
+    for (std::size_t k = 0; k < kMessageKindCount; ++k) {
+      kind_counts_[d][k] = 0;
+    }
+  }
+  journal_on_ = true;
+  plan_ = plan;
+}
+
 std::vector<std::uint8_t> FramedChannel::deliver(
-    DirState& dir, std::uint64_t seq, MessageKind kind,
+    Party to, DirState& dir, std::uint64_t seq, MessageKind kind,
     std::vector<std::uint8_t> payload, MessageKind expect,
     const std::string& where) {
   if (kind != expect) {
     throw ProtocolError(ProtocolErrorKind::kKindMismatch,
-                        where + ": got " + message_kind_name(kind) +
-                            " frame seq " + std::to_string(seq));
+                        where + ": frame seq " + std::to_string(seq) +
+                            " carries " + message_kind_name(kind) +
+                            ", expected " + message_kind_name(expect));
   }
   dir.next_recv_seq = seq + 1;
   // In-order delivery is an implicit ack for everything up to `seq`.
   dir.unacked.erase(dir.unacked.begin(), dir.unacked.upper_bound(seq));
   ++stats_.frames_delivered;
+  ++kind_counts_[static_cast<int>(to)][static_cast<std::size_t>(kind)];
   return payload;
 }
 
@@ -138,31 +216,37 @@ void FramedChannel::request_retransmit(Party to, DirState& dir,
 std::vector<std::uint8_t> FramedChannel::recv_expect(Party to,
                                                      MessageKind expect) {
   DirState& dir = dir_[static_cast<int>(other(to))];
-  const std::string where = describe(to, expect);
+  const std::string where =
+      describe(to) + " awaiting " + message_kind_name(expect);
   int attempts = 0;
   for (int iter = 0; iter < kMaxLoopIters; ++iter) {
     const std::uint64_t want = dir.next_recv_seq;
+    if (deadline_ != nullptr) {
+      deadline_->check(where + " (seq " + std::to_string(want) + ")");
+    }
 
     auto stashed = dir.stash.find(want);
     if (stashed != dir.stash.end()) {
       MessageKind kind = stashed->second.first;
       std::vector<std::uint8_t> payload = std::move(stashed->second.second);
       dir.stash.erase(stashed);
-      return deliver(dir, want, kind, std::move(payload), expect, where);
+      return deliver(to, dir, want, kind, std::move(payload), expect, where);
     }
 
     if (ch_.has_pending(to)) {
       std::vector<std::uint8_t> frame = ch_.recv(to);
       FrameHeader h;
       try {
-        h = parse_frame(frame, where);
+        h = parse_frame(frame,
+                        where + " (expected seq " + std::to_string(want) + ")");
       } catch (const ProtocolError&) {
         ++stats_.parse_failures;
         if (policy_.max_attempts == 0) throw;
         if (++attempts > policy_.max_attempts) {
           throw ProtocolError(
               ProtocolErrorKind::kRetriesExhausted,
-              where + ": gave up after " + std::to_string(policy_.max_attempts) +
+              where + ": gave up on frame seq " + std::to_string(want) +
+                  " after " + std::to_string(policy_.max_attempts) +
                   " retransmit rounds (last frame unparseable)");
         }
         request_retransmit(to, dir, want, attempts);
@@ -187,7 +271,7 @@ std::vector<std::uint8_t> FramedChannel::recv_expect(Party to,
                           std::make_pair(h.kind, std::move(payload)));
         continue;
       }
-      return deliver(dir, want, h.kind, std::move(payload), expect, where);
+      return deliver(to, dir, want, h.kind, std::move(payload), expect, where);
     }
 
     // Nothing on the wire and the expected frame is not stashed: either a
@@ -211,7 +295,9 @@ std::vector<std::uint8_t> FramedChannel::recv_expect(Party to,
   }
   throw ProtocolError(ProtocolErrorKind::kRetriesExhausted,
                       where + ": transport loop guard tripped after " +
-                          std::to_string(kMaxLoopIters) + " iterations");
+                          std::to_string(kMaxLoopIters) +
+                          " iterations (expected seq " +
+                          std::to_string(dir.next_recv_seq) + ")");
 }
 
 }  // namespace primer

@@ -33,6 +33,7 @@
 #include "net/channel.h"
 #include "net/fault.h"
 #include "net/frame.h"
+#include "net/session.h"
 
 namespace primer {
 
@@ -66,6 +67,45 @@ class FramedChannel {
   // recovered, verifies it carries `expect`, and returns its payload.
   std::vector<std::uint8_t> recv_expect(Party to, MessageKind expect);
 
+  // --- session resilience -------------------------------------------------
+
+  // Frames below `virtual_until[dir]` were covered by the checkpoint the
+  // resume handshake agreed on: the peer already holds them, so send()
+  // verifies the re-encoded frame against `expect_crc` and delivers it
+  // locally without charging the wire.
+  struct ReplayPlan {
+    std::uint64_t virtual_until[2] = {0, 0};
+    std::vector<std::uint32_t> expect_crc[2];
+  };
+
+  // Starts (or restarts) a session attempt after the resume handshake:
+  // resets both per-direction sequence spaces to zero, drains stale wire
+  // residue, clears and enables the CRC journal, and installs the replay
+  // plan.  Handshake traffic itself runs before this call and is therefore
+  // neither journaled nor sequence-coupled to protocol frames.
+  void begin_session(std::uint64_t session_id, std::uint32_t epoch,
+                     const ReplayPlan& plan);
+
+  // Advances the epoch label used in error strings (checkpoint boundary).
+  void set_epoch(std::uint32_t epoch) { epoch_ = epoch; }
+
+  // Frames sent so far in the given direction (the checkpoint watermark).
+  std::uint64_t sent_count(Party from) const {
+    return dir_[static_cast<int>(from)].next_send_seq;
+  }
+  // Per-frame CRC32C journal for the given direction (empty until
+  // begin_session enables journaling).
+  const std::vector<std::uint32_t>& journal(Party from) const {
+    return journal_[static_cast<int>(from)];
+  }
+  // Frames of `kind` delivered to `to` so far (checkpoint inventory).
+  std::uint64_t kind_count(Party to, MessageKind kind) const {
+    return kind_counts_[static_cast<int>(to)][static_cast<std::size_t>(kind)];
+  }
+
+  // Installs a per-phase deadline polled on every frame (null disables).
+  void set_deadline(const SimDeadline* deadline) { deadline_ = deadline; }
+
   struct Stats {
     std::uint64_t frames_sent = 0;
     std::uint64_t frames_delivered = 0;
@@ -76,6 +116,8 @@ class FramedChannel {
     std::uint64_t retry_rounds = 0;
     std::uint64_t duplicates_dropped = 0;
     std::uint64_t parse_failures = 0;
+    std::uint64_t replayed_frames = 0;  // checkpoint-covered virtual sends
+    std::uint64_t replayed_bytes = 0;   // bytes those sends did not re-pay
   };
   const Stats& stats() const { return stats_; }
   const FaultInjector::Counters& fault_counters() const {
@@ -112,10 +154,14 @@ class FramedChannel {
   static constexpr std::size_t kUnackedCap = 128;
   static constexpr int kMaxLoopIters = 4096;
 
+  // Error-string prefix: session id + epoch (when a session is attached)
+  // and the transfer direction, e.g. "sess 1f3a#2 server<-client".
+  std::string describe(Party to) const;
+
   void transmit(Party from, DirState& dir, std::vector<std::uint8_t> frame,
                 bool allow_hold);
-  std::vector<std::uint8_t> deliver(DirState& dir, std::uint64_t seq,
-                                    MessageKind kind,
+  std::vector<std::uint8_t> deliver(Party to, DirState& dir,
+                                    std::uint64_t seq, MessageKind kind,
                                     std::vector<std::uint8_t> payload,
                                     MessageKind expect,
                                     const std::string& where);
@@ -127,6 +173,14 @@ class FramedChannel {
   FaultInjector injector_;
   DirState dir_[2];  // indexed by sending party
   Stats stats_;
+  // Session resilience state (inert until begin_session).
+  std::uint64_t session_id_ = 0;
+  std::uint32_t epoch_ = 0;
+  bool journal_on_ = false;
+  std::vector<std::uint32_t> journal_[2];  // indexed by sending party
+  ReplayPlan plan_;
+  std::uint64_t kind_counts_[2][kMessageKindCount] = {};  // [receiver][kind]
+  const SimDeadline* deadline_ = nullptr;
 };
 
 }  // namespace primer

@@ -1,5 +1,6 @@
 #include "proto/primer.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace primer {
@@ -50,6 +51,42 @@ struct Shared {
   MatI r;
 };
 
+// Cost-summary tail shared by the success path and the partial-result
+// builder on the failure path: everything that can be read off the context
+// regardless of how far the protocol got.
+void summarize_costs(PrimerRunResult& result, const ProtocolContext& pc) {
+  result.costs = pc.costs;
+  const PhaseCost off_total = pc.costs.phase_total("offline");
+  const PhaseCost on_total = pc.costs.phase_total("online");
+  result.offline_compute_s = off_total.compute_seconds;
+  result.offline_network_s = off_total.network_seconds;
+  result.offline_cpu_s = off_total.cpu_seconds;
+  result.online_compute_s = on_total.compute_seconds;
+  result.online_network_s = on_total.network_seconds;
+  result.online_cpu_s = on_total.cpu_seconds;
+  result.total_bytes = pc.channel.total_bytes();
+  result.rounds = pc.channel.flights();
+  result.retransmits = pc.framed.stats().retransmit_frames;
+  result.retransmit_bytes = pc.framed.stats().retransmit_bytes;
+  result.replayed_frames = pc.framed.stats().replayed_frames;
+  result.replayed_bytes = pc.framed.stats().replayed_bytes;
+  result.frames_sent = pc.framed.stats().frames_sent;
+  result.resumed_epoch = pc.resumed_epoch();
+  result.checkpoints = pc.checkpoints_taken();
+  result.handshake_bytes = pc.handshake_bytes();
+  PhaseCost grand = off_total;
+  grand += on_total;
+  result.min_noise_margin_bits = grand.min_noise_margin_bits;
+  result.gc_and_gates = grand.gc_and_gates;
+  result.gc_garble_s = grand.gc_garble_seconds;
+  result.gc_garble_cpu_s = grand.gc_garble_cpu_seconds;
+  result.gc_eval_s = grand.gc_eval_seconds;
+  result.gc_eval_cpu_s = grand.gc_eval_cpu_seconds;
+  result.gc_table_bytes = grand.gc_table_bytes;
+  result.gc_streamed_table_bytes = grand.gc_streamed_table_bytes;
+  result.gc_table_chunks = grand.gc_table_chunks;
+}
+
 }  // namespace
 
 const char* variant_name(PrimerVariant v) {
@@ -80,18 +117,77 @@ PrimerEngine::PrimerEngine(BertWeightsI weights, PrimerVariant variant,
 }
 
 PrimerRunResult PrimerEngine::run(const std::vector<std::size_t>& tokens) {
+  return run_session(tokens, SessionOptions::from_env());
+}
+
+PrimerRunResult PrimerEngine::run_resilient(
+    const std::vector<std::size_t>& tokens, SessionStore& store,
+    int max_restarts) {
+  SessionOptions opts = SessionOptions::from_env();
+  opts.store = &store;
+  int restarts = 0;
+  std::uint64_t prior_bytes = 0;
+  auto note_retryable_failure = [&] {
+    if (last_partial_ != nullptr) prior_bytes += last_partial_->total_bytes;
+    // Injected kill/stall triggers model a crash of THAT attempt; the
+    // restarted process must not trip over the same trigger again.
+    opts.faults.kill_after = 0;
+    opts.faults.stall_after = 0;
+    ++restarts;
+  };
+  for (;;) {
+    try {
+      PrimerRunResult result = run_session(tokens, opts);
+      result.restarts = restarts;
+      result.prior_attempt_bytes = prior_bytes;
+      return result;
+    } catch (const ProtocolError& e) {
+      if (!e.retryable() || restarts >= max_restarts) throw;
+      note_retryable_failure();
+    } catch (const OperationCancelled&) {
+      if (restarts >= max_restarts) throw;
+      note_retryable_failure();
+    }
+  }
+}
+
+PrimerRunResult PrimerEngine::run_session(
+    const std::vector<std::size_t>& tokens, const SessionOptions& options) {
+  const auto& cfg = w_.config;
+  const std::size_t n = cfg.tokens;
+  const std::size_t dh = cfg.head_dim();
+
+  std::vector<int> steps = {1, static_cast<int>(n)};
+  for (std::size_t s = 2; s <= std::max(dh, n); s <<= 1) {
+    steps.push_back(static_cast<int>(s));
+  }
+  ProtocolContext pc(profile_, seed_, steps, options);
+  try {
+    pc.start_session();
+    return run_protocol(tokens, pc);
+  } catch (...) {
+    // Snapshot what the attempt accrued before the fault so callers (and
+    // run_resilient's byte accounting) see partial costs and the smallest
+    // noise margin observed.
+    auto partial = std::make_unique<PrimerRunResult>();
+    summarize_costs(*partial, pc);
+    // A throwing step never reaches step()'s cost fold, so pull the
+    // decryptor's pending margin telemetry in directly.
+    partial->min_noise_margin_bits =
+        std::min(partial->min_noise_margin_bits, pc.dec.take_min_margin());
+    last_partial_ = std::move(partial);
+    throw;
+  }
+}
+
+PrimerRunResult PrimerEngine::run_protocol(
+    const std::vector<std::size_t>& tokens, ProtocolContext& pc) {
   const auto& cfg = w_.config;
   const std::size_t n = cfg.tokens;
   const std::size_t d = cfg.d_model;
   const std::size_t dh = cfg.head_dim();
   const std::size_t heads = cfg.heads;
   const std::size_t frac = static_cast<std::size_t>(w_.fmt.frac_bits);
-
-  std::vector<int> steps = {1, static_cast<int>(n)};
-  for (std::size_t s = 2; s <= std::max(dh, n); s <<= 1) {
-    steps.push_back(static_cast<int>(s));
-  }
-  ProtocolContext pc(profile_, seed_, steps);
   const std::uint64_t t = pc.t();
   const ShareRing& ring = pc.ring;
 
@@ -203,6 +299,13 @@ PrimerRunResult PrimerEngine::run(const std::vector<std::size_t>& tokens) {
     cls_base = base_lin(w_.w_cls, w_.b_cls, 1);
   }
 
+  // Every protocol object has registered its rotation steps by now: ship
+  // the client's finalized evaluation keys through the accounted wire, then
+  // snapshot the first resumable boundary.  Primer-base has no offline
+  // phase, so its key transfer is charged online like everything else.
+  pc.transfer_keys(off);
+  pc.checkpoint("key_transfer");
+
   // --- GC stages ----------------------------------------------------------
   auto act_circuit = [&](std::size_t count, std::size_t shift, Activation a) {
     ActivationCircuitSpec spec;
@@ -280,6 +383,7 @@ PrimerRunResult PrimerEngine::run(const std::vector<std::size_t>& tokens) {
   GcStage gc_cls(pc, act_circuit(cfg.num_classes, frac, Activation::kIdentity),
                  RevealTo::kEvaluator);
   gc_cls.offline(off, "others");
+  pc.checkpoint("gc_offline");
 
   // --- HGS/FHGS/CHGS offline -------------------------------------------------
   if (offline_offload()) {
@@ -307,6 +411,7 @@ PrimerRunResult PrimerEngine::run(const std::vector<std::size_t>& tokens) {
     }
     cls_hgs->offline("others", row_of(bm[cfg.blocks - 1].rl2, 0));
   }
+  pc.checkpoint("linear_offline");
 
   // ==========================================================================
   // ONLINE
@@ -345,6 +450,7 @@ PrimerRunResult PrimerEngine::run(const std::vector<std::size_t>& tokens) {
     cur.d = pc.bits_to_ring(bits, n, d);
     cur.r = r_u;
   }
+  pc.checkpoint("online_embed");
 
   for (std::size_t b = 0; b < cfg.blocks; ++b) {
     // --- QKV ---------------------------------------------------------------
@@ -529,6 +635,7 @@ PrimerRunResult PrimerEngine::run(const std::vector<std::size_t>& tokens) {
     }
 
     cur = l2;
+    pc.checkpoint("online_block_" + std::to_string(b));
   }
 
   // --- classifier ------------------------------------------------------------
@@ -560,30 +667,7 @@ PrimerRunResult PrimerEngine::run(const std::vector<std::size_t>& tokens) {
   }
 
   // --- cost summary ------------------------------------------------------------
-  result.costs = pc.costs;
-  const PhaseCost off_total = pc.costs.phase_total("offline");
-  const PhaseCost on_total = pc.costs.phase_total("online");
-  result.offline_compute_s = off_total.compute_seconds;
-  result.offline_network_s = off_total.network_seconds;
-  result.offline_cpu_s = off_total.cpu_seconds;
-  result.online_compute_s = on_total.compute_seconds;
-  result.online_network_s = on_total.network_seconds;
-  result.online_cpu_s = on_total.cpu_seconds;
-  result.total_bytes = pc.channel.total_bytes();
-  result.rounds = pc.channel.flights();
-  result.retransmits = pc.framed.stats().retransmit_frames;
-  result.retransmit_bytes = pc.framed.stats().retransmit_bytes;
-  PhaseCost grand = off_total;
-  grand += on_total;
-  result.min_noise_margin_bits = grand.min_noise_margin_bits;
-  result.gc_and_gates = grand.gc_and_gates;
-  result.gc_garble_s = grand.gc_garble_seconds;
-  result.gc_garble_cpu_s = grand.gc_garble_cpu_seconds;
-  result.gc_eval_s = grand.gc_eval_seconds;
-  result.gc_eval_cpu_s = grand.gc_eval_cpu_seconds;
-  result.gc_table_bytes = grand.gc_table_bytes;
-  result.gc_streamed_table_bytes = grand.gc_streamed_table_bytes;
-  result.gc_table_chunks = grand.gc_table_chunks;
+  summarize_costs(result, pc);
   return result;
 }
 

@@ -58,6 +58,19 @@ struct PrimerRunResult {
   std::uint64_t gc_table_bytes = 0;
   std::uint64_t gc_streamed_table_bytes = 0;
   std::uint64_t gc_table_chunks = 0;
+  // Session-resilience telemetry: restarts survived before this result was
+  // produced, the checkpoint epoch the final attempt resumed from (0 =
+  // fresh), frames/bytes satisfied by zero-cost checkpoint replay instead of
+  // the wire, resume-handshake traffic, checkpoints persisted, total frames
+  // sent by the final attempt, and wire bytes burned by failed attempts.
+  int restarts = 0;
+  std::uint32_t resumed_epoch = 0;
+  std::uint64_t replayed_frames = 0;
+  std::uint64_t replayed_bytes = 0;
+  std::uint64_t handshake_bytes = 0;
+  std::uint32_t checkpoints = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t prior_attempt_bytes = 0;
   CostAccumulator costs;  // per step breakdown (Table II columns)
 
   double gc_garble_gates_per_s() const {
@@ -83,10 +96,33 @@ class PrimerEngine {
   // One private inference (offline + online, separately accounted).
   PrimerRunResult run(const std::vector<std::size_t>& tokens);
 
+  // One private inference with session resilience: checkpoints are persisted
+  // into `store` at phase boundaries, and on a retryable transport failure
+  // (peer kill, deadline, retries exhausted, cancellation) the protocol is
+  // re-attempted — resuming from the last common checkpoint via the
+  // kSessionHello/kSessionResume handshake, with the checkpoint-covered
+  // frame prefix replayed at zero wire cost.  Fatal errors and attempts
+  // beyond `max_restarts` rethrow; injected kill/stall triggers fire only on
+  // the first attempt.  The result is bit-identical to an unfaulted run().
+  PrimerRunResult run_resilient(const std::vector<std::size_t>& tokens,
+                                SessionStore& store, int max_restarts = 5);
+
+  // Telemetry from the most recent failed attempt (costs accrued before the
+  // fault, min noise margin observed); null until a run throws.
+  const PrimerRunResult* last_partial() const { return last_partial_.get(); }
+
   const BertWeightsI& weights() const { return w_; }
   PrimerVariant variant() const { return variant_; }
 
  private:
+  // One protocol attempt under explicit session options.  Fills
+  // last_partial_ and rethrows on failure.
+  PrimerRunResult run_session(const std::vector<std::size_t>& tokens,
+                              const SessionOptions& options);
+  // The protocol body proper, over an already-constructed context.
+  PrimerRunResult run_protocol(const std::vector<std::size_t>& tokens,
+                               ProtocolContext& pc);
+
   PackingStrategy linear_packing() const {
     return (variant_ == PrimerVariant::kBase || variant_ == PrimerVariant::kF)
                ? PackingStrategy::kFeatureBased
@@ -99,6 +135,7 @@ class PrimerEngine {
   PrimerVariant variant_;
   HeProfile profile_;
   std::uint64_t seed_;
+  std::unique_ptr<PrimerRunResult> last_partial_;
 };
 
 // Reference logits for the kFPC variant, whose merged Q*K^T skips the

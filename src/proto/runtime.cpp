@@ -1,11 +1,39 @@
 #include "proto/runtime.h"
 
+#include <cstdlib>
+
 #include "common/parallel.h"
+#include "net/crc32c.h"
 
 namespace primer {
 
+namespace {
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  try {
+    return std::stod(v);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+constexpr std::size_t kMaxGaloisKeys = 4096;
+
+}  // namespace
+
+SessionOptions SessionOptions::from_env() {
+  SessionOptions o;
+  o.faults = FaultSpec::from_env();
+  o.retry = RetryPolicy::from_env();
+  o.phase_deadline_s = env_double("PRIMER_PHASE_DEADLINE_S", 0.0);
+  return o;
+}
+
 ProtocolContext::ProtocolContext(HeProfile profile, std::uint64_t seed,
-                                 std::vector<int> rotation_steps)
+                                 std::vector<int> rotation_steps,
+                                 SessionOptions options)
     : he(make_params(profile)),
       encoder(he),
       client_rng(seed),
@@ -16,7 +44,25 @@ ProtocolContext::ProtocolContext(HeProfile profile, std::uint64_t seed,
       eval(he),
       gk(keygen.make_galois_keys(rotation_steps)),
       rk(keygen.make_relin_key()),
-      ring(he.t()) {}
+      session(std::move(options)),
+      framed(channel, session.faults, session.retry),
+      ring(he.t()) {
+  // Parameter fingerprint for the resume handshake: a peer with a
+  // different profile, modulus chain or seed is a different session.
+  ByteWriter w;
+  w.u64(seed);
+  w.u64(he.t());
+  w.u64(he.degree());
+  for (std::size_t j = 0; j < he.rns_size(); ++j) w.u64(he.q(j));
+  params_hash_ = crc32c(w.data().data(), w.size());
+  deadline.configure(&channel, session.phase_deadline_s, session.cancel);
+  framed.set_deadline(&deadline);
+  if (session.cancel != nullptr) set_parallel_cancel_token(session.cancel);
+}
+
+ProtocolContext::~ProtocolContext() {
+  if (session.cancel != nullptr) set_parallel_cancel_token(nullptr);
+}
 
 void ProtocolContext::ensure_rotation_steps(const std::vector<int>& steps) {
   for (const int s : steps) {
@@ -27,6 +73,9 @@ void ProtocolContext::ensure_rotation_steps(const std::vector<int>& steps) {
 void ProtocolContext::step(const std::string& phase,
                            const std::string& step_name,
                            const std::function<void()>& fn) {
+  if (deadline.enabled()) {
+    deadline.check("step " + phase + "/" + step_name);
+  }
   const auto net_before = channel.snapshot();
   const HeOpCounters he_before = eval.counters();
   const FramedChannel::Stats framed_before = framed.stats();
@@ -52,6 +101,222 @@ void ProtocolContext::step(const std::string& phase,
   cost.retransmit_bytes += fr.retransmit_bytes - framed_before.retransmit_bytes;
   cost.min_noise_margin_bits =
       std::min(cost.min_noise_margin_bits, dec.take_min_margin());
+}
+
+void ProtocolContext::start_session() {
+  deadline.start_phase("handshake");
+  if (session.store == nullptr) return;
+  SessionStore& store = *session.store;
+  const auto before = channel.snapshot();
+
+  // Client opens with its checkpoint inventory...
+  SessionHello hello;
+  hello.session_id = session.session_id;
+  hello.params_hash = params_hash_;
+  hello.epochs = store.digests(Party::kClient);
+  framed.send(Party::kClient, MessageKind::kSessionHello, hello.serialize());
+
+  // ...the server validates identity/parameters and picks the resume epoch.
+  const auto hb = framed.recv_expect(Party::kServer, MessageKind::kSessionHello);
+  const SessionHello peer =
+      SessionHello::deserialize(hb, "server parsing session hello");
+  const std::uint32_t agreed = negotiate_resume_epoch(
+      peer, session.session_id, params_hash_, store, Party::kServer);
+  SessionResume resume;
+  resume.agreed_epoch = agreed;
+  if (agreed != 0) {
+    resume.digest = store.load(Party::kServer, agreed)->digest();
+  }
+  framed.send(Party::kServer, MessageKind::kSessionResume, resume.serialize());
+
+  // Client cross-checks the server's choice against its own store and both
+  // sides install the replay plan.
+  const auto rb = framed.recv_expect(Party::kClient, MessageKind::kSessionResume);
+  const SessionResume r =
+      SessionResume::deserialize(rb, "client parsing session resume");
+  FramedChannel::ReplayPlan plan;
+  if (r.agreed_epoch != 0) {
+    const auto cp = store.load(Party::kClient, r.agreed_epoch);
+    if (!cp.has_value() || cp->digest() != r.digest) {
+      throw ProtocolError(
+          ProtocolErrorKind::kResumeDiverged,
+          "client: server selected checkpoint epoch " +
+              std::to_string(r.agreed_epoch) +
+              " but the local copy is missing or its digest disagrees");
+    }
+    for (int d = 0; d < 2; ++d) {
+      plan.virtual_until[d] = cp->send_watermark[d];
+      plan.expect_crc[d] = cp->frame_crc[d];
+    }
+  }
+  resumed_epoch_ = r.agreed_epoch;
+  epoch_ = r.agreed_epoch;
+  framed.begin_session(session.session_id, r.agreed_epoch, plan);
+  handshake_bytes_ = channel.delta_since(before).bytes;
+  deadline.start_phase("protocol");
+}
+
+void ProtocolContext::checkpoint(const std::string& completed) {
+  if (session.store != nullptr) {
+    SessionCheckpoint cp;
+    cp.session_id = session.session_id;
+    cp.epoch = ++epoch_;
+    cp.phase = completed;
+    cp.params_hash = params_hash_;
+    for (int d = 0; d < 2; ++d) {
+      const Party p = static_cast<Party>(d);
+      cp.send_watermark[d] = framed.sent_count(p);
+      cp.frame_crc[d] = framed.journal(p);
+      for (std::size_t k = 0; k < kMessageKindCount; ++k) {
+        cp.kind_counts[d][k] = framed.kind_count(p, static_cast<MessageKind>(k));
+      }
+    }
+    cp.wire_bytes = channel.total_bytes();
+    // Both parties persist the (identical) snapshot; on a resumed attempt
+    // re-saving an epoch below the agreed one rewrites the same blob and
+    // heals snapshots one side had lost.
+    session.store->save(Party::kClient, cp);
+    session.store->save(Party::kServer, cp);
+    framed.set_epoch(epoch_);
+  }
+  deadline.start_phase("after_" + completed);
+}
+
+namespace {
+
+void write_poly(ByteWriter& w, const RnsPoly& p) {
+  w.u8(p.ntt_form ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(p.rns_size()));
+  w.u64(p.degree());
+  w.bytes(p.limb(0), p.rns_size() * p.degree() * sizeof(u64));
+}
+
+RnsPoly read_poly(ByteReader& r, const HeContext& he) {
+  const std::uint8_t ntt = r.u8();
+  const std::uint32_t k = r.u32();
+  const std::uint64_t n = r.u64();
+  if (ntt != 1 || k != he.rns_size() || n != he.degree()) {
+    throw std::runtime_error("key polynomial shape " + std::to_string(k) +
+                             "x" + std::to_string(n) + " (ntt=" +
+                             std::to_string(ntt) + ") does not match the " +
+                             "negotiated context");
+  }
+  RnsPoly p(k, n, /*ntt=*/true);
+  r.bytes(p.limb(0), static_cast<std::size_t>(k) * n * sizeof(u64));
+  return p;
+}
+
+void write_kswitch(ByteWriter& w, const KSwitchKey& key) {
+  w.u32(key.decomp_bits);
+  w.u32(static_cast<std::uint32_t>(key.digits()));
+  for (std::size_t i = 0; i < key.digits(); ++i) {
+    write_poly(w, key.b[i]);
+    write_poly(w, key.a[i]);
+  }
+}
+
+// Shoup quotient tables are never transmitted: they are deterministic in
+// the public modulus chain, so the receiver rebuilds them locally.
+KSwitchKey read_kswitch(const std::vector<std::uint8_t>& payload,
+                        const HeContext& he) {
+  ByteReader r(payload);
+  KSwitchKey key;
+  key.decomp_bits = r.u32();
+  if (key.decomp_bits > 63) {
+    throw std::runtime_error("decomp_bits " + std::to_string(key.decomp_bits) +
+                             " out of range");
+  }
+  const std::uint32_t digits = r.u32();
+  const std::size_t expected = he.decomp_layout(key.decomp_bits).size();
+  if (digits != expected) {
+    throw std::runtime_error("key has " + std::to_string(digits) +
+                             " gadget digits, layout expects " +
+                             std::to_string(expected));
+  }
+  key.b.reserve(digits);
+  key.a.reserve(digits);
+  key.b_shoup.reserve(digits);
+  key.a_shoup.reserve(digits);
+  for (std::uint32_t i = 0; i < digits; ++i) {
+    RnsPoly b = read_poly(r, he);
+    RnsPoly a = read_poly(r, he);
+    key.b_shoup.push_back(compute_shoup_table(he, b));
+    key.a_shoup.push_back(compute_shoup_table(he, a));
+    key.b.push_back(std::move(b));
+    key.a.push_back(std::move(a));
+  }
+  if (!r.done()) throw std::runtime_error("trailing bytes after key digits");
+  return key;
+}
+
+}  // namespace
+
+void ProtocolContext::transfer_keys(const std::string& phase) {
+  step(phase, "key_transfer", [&] {
+    // Client side: manifest (which Galois elements follow), then one frame
+    // per Galois key, then the relinearization key.  Per-key frames give
+    // the chaos harness kill points *inside* the multi-MB transfer — the
+    // phase the checkpoint layer exists to amortize.
+    ByteWriter mw;
+    mw.u32(static_cast<std::uint32_t>(gk.keys.size()));
+    for (const auto& [elt, key] : gk.keys) mw.u64(elt);
+    framed.send(Party::kClient, MessageKind::kKeyMaterial, mw.take());
+    for (const auto& [elt, key] : gk.keys) {
+      ByteWriter w;
+      write_kswitch(w, key);
+      framed.send(Party::kClient, MessageKind::kKeyMaterial, w.take());
+    }
+    {
+      ByteWriter w;
+      write_kswitch(w, rk.key);
+      framed.send(Party::kClient, MessageKind::kKeyMaterial, w.take());
+    }
+
+    // Server side: the deserialized copies *replace* gk/rk, so evaluation
+    // runs on keys that genuinely crossed the fault-injected wire.
+    const auto mb = framed.recv_expect(Party::kServer, MessageKind::kKeyMaterial);
+    std::vector<u64> elts;
+    try {
+      ByteReader r(mb);
+      const std::uint32_t count = r.u32();
+      if (count > kMaxGaloisKeys) {
+        throw std::runtime_error("manifest lists " + std::to_string(count) +
+                                 " Galois keys (cap " +
+                                 std::to_string(kMaxGaloisKeys) + ")");
+      }
+      elts.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) elts.push_back(r.u64());
+      if (!r.done()) throw std::runtime_error("trailing bytes after manifest");
+    } catch (const std::exception& e) {
+      throw ProtocolError(ProtocolErrorKind::kMalformed,
+                          "server: key manifest rejected: " + std::string(e.what()));
+    }
+    GaloisKeys ngk;
+    for (const u64 elt : elts) {
+      const auto kb = framed.recv_expect(Party::kServer, MessageKind::kKeyMaterial);
+      try {
+        ngk.keys[elt] = read_kswitch(kb, he);
+      } catch (const std::exception& e) {
+        throw ProtocolError(ProtocolErrorKind::kMalformed,
+                            "server: Galois key for element " +
+                                std::to_string(elt) +
+                                " rejected: " + e.what());
+      }
+    }
+    RelinKey nrk;
+    {
+      const auto kb = framed.recv_expect(Party::kServer, MessageKind::kKeyMaterial);
+      try {
+        nrk.key = read_kswitch(kb, he);
+      } catch (const std::exception& e) {
+        throw ProtocolError(ProtocolErrorKind::kMalformed,
+                            "server: relinearization key rejected: " +
+                                std::string(e.what()));
+      }
+    }
+    gk = std::move(ngk);
+    rk = std::move(nrk);
+  });
 }
 
 void ProtocolContext::send_cts(Party from, const std::vector<Ciphertext>& cts) {

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/timing.h"
 #include "gc/fixed_circuits.h"
 #include "gc/protocol.h"
@@ -19,15 +20,40 @@
 #include "he/he.h"
 #include "net/channel.h"
 #include "net/framed_channel.h"
+#include "net/session.h"
 #include "proto/packing.h"
 #include "ss/secret_share.h"
 
 namespace primer {
 
+// Configuration of one protocol session attempt: the transport's fault and
+// retry knobs plus the resilience layer (checkpoint store, deadlines,
+// cooperative cancellation).  A null store disables checkpointing, the
+// resume handshake and journaling — the pre-session behavior.
+struct SessionOptions {
+  SessionStore* store = nullptr;
+  std::uint64_t session_id = 1;
+  FaultSpec faults;
+  RetryPolicy retry;
+  // Per-phase budget in simulated-network + wall seconds (0 disables);
+  // checked at frame and step granularity.  PRIMER_PHASE_DEADLINE_S.
+  double phase_deadline_s = 0.0;
+  // Optional watchdog-armed token folded into the same deadline checks.
+  const CancelToken* cancel = nullptr;
+
+  // Faults and retry from PRIMER_FAULT_* / PRIMER_RETRY_*, deadline from
+  // PRIMER_PHASE_DEADLINE_S; no store or cancellation.
+  static SessionOptions from_env();
+};
+
 class ProtocolContext {
  public:
   ProtocolContext(HeProfile profile, std::uint64_t seed,
-                  std::vector<int> rotation_steps);
+                  std::vector<int> rotation_steps,
+                  SessionOptions options = SessionOptions::from_env());
+  ~ProtocolContext();
+  ProtocolContext(const ProtocolContext&) = delete;
+  ProtocolContext& operator=(const ProtocolContext&) = delete;
 
   HeContext he;
   BatchEncoder encoder;
@@ -40,11 +66,14 @@ class ProtocolContext {
   GaloisKeys gk;
   RelinKey rk;
   Channel channel;
+  SessionOptions session;
+  // Deterministic per-phase deadline polled by the framed channel (every
+  // frame) and step() (every protocol step).
+  SimDeadline deadline;
   // All protocol traffic (HE, shares, GC, OT) flows through this one framed
   // wrapper: a single pair of per-direction sequence spaces, fault
-  // injection configured from PRIMER_FAULT_*, retry policy from
-  // PRIMER_RETRY_*.
-  FramedChannel framed{channel};
+  // injection and retry policy from SessionOptions.
+  FramedChannel framed;
   ShareRing ring;
   CostAccumulator costs;
   FixedPointFormat fmt;
@@ -59,9 +88,43 @@ class ProtocolContext {
   void ensure_rotation_steps(const std::vector<int>& steps);
 
   // Runs `fn`, charging its wall-clock time plus the channel traffic it
-  // generated to costs[phase][step].
+  // generated to costs[phase][step].  Polls the phase deadline on entry.
   void step(const std::string& phase, const std::string& step_name,
             const std::function<void()>& fn);
+
+  // --- session resilience -------------------------------------------------
+
+  // Runs the resume handshake when a SessionStore is attached: client and
+  // server exchange kSessionHello / kSessionResume, agree on the highest
+  // checkpoint epoch whose digests match on both sides, and the framed
+  // channel restarts its sequence spaces with the agreed replay plan
+  // installed.  Without a store this is a no-op (no handshake traffic).
+  void start_session();
+
+  // Persists a checkpoint at a phase boundary: both parties snapshot the
+  // send watermarks, CRC journal, and received-frame inventory under the
+  // next epoch.  `completed` labels the phase that just finished; the
+  // deadline budget restarts for the following segment.  No-op without a
+  // store (the deadline still restarts).
+  void checkpoint(const std::string& completed);
+
+  // Ships the client's evaluation keys (Galois + relinearization) through
+  // the accounted channel — one kKeyMaterial frame per key — and replaces
+  // gk/rk with the wire round-tripped copies, so the server evaluates with
+  // keys that genuinely crossed the (fault-injected) transport.  Shoup
+  // quotient tables are recomputed receiver-side, never transmitted.
+  // Charged to costs[phase]["key_transfer"].
+  void transfer_keys(const std::string& phase = "offline");
+
+  // Fingerprint of the negotiated parameters (profile moduli, plaintext
+  // modulus, degree, seed) — must match for a resume to be accepted.
+  std::uint64_t params_hash() const { return params_hash_; }
+  // Epoch the current attempt resumed from (0 = fresh start).
+  std::uint32_t resumed_epoch() const { return resumed_epoch_; }
+  // Checkpoints taken so far in this attempt.
+  std::uint32_t checkpoints_taken() const { return epoch_; }
+  // Wire bytes the resume handshake cost this attempt.
+  std::uint64_t handshake_bytes() const { return handshake_bytes_; }
 
   // Ciphertext transfer through the accounted channel.
   void send_cts(Party from, const std::vector<Ciphertext>& cts);
@@ -76,6 +139,12 @@ class ProtocolContext {
   std::vector<bool> ring_bits_row(const MatI& m, std::size_t row) const;
   MatI bits_to_ring(const std::vector<bool>& bits, std::size_t rows,
                     std::size_t cols) const;
+
+ private:
+  std::uint64_t params_hash_ = 0;
+  std::uint32_t epoch_ = 0;          // checkpoints taken this attempt
+  std::uint32_t resumed_epoch_ = 0;  // agreed at the handshake
+  std::uint64_t handshake_bytes_ = 0;
 };
 
 // One garbled-circuit protocol stage with offline/online cost attribution.

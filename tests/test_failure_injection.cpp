@@ -27,6 +27,7 @@
 #include "net/fault.h"
 #include "net/frame.h"
 #include "net/framed_channel.h"
+#include "net/session.h"
 #include "nn/model.h"
 #include "proto/primer.h"
 #include "proto/runtime.h"
@@ -295,6 +296,22 @@ std::vector<std::uint8_t> payload_for(MessageKind kind) {
       return std::vector<std::uint8_t>(40 * 16, 0);
     case MessageKind::kOtSenderMasked:
       return std::vector<std::uint8_t>(40 * 32, 0);
+    case MessageKind::kSessionHello: {
+      SessionHello h;
+      h.session_id = 1;
+      h.params_hash = 0xabcdef12u;
+      h.epochs = {{1, 0x11111111u}, {2, 0x22222222u}};
+      return h.serialize();
+    }
+    case MessageKind::kSessionResume: {
+      SessionResume r;
+      r.agreed_epoch = 2;
+      r.digest = 0x22222222u;
+      return r.serialize();
+    }
+    case MessageKind::kKeyMaterial:
+      // Manifest-shaped blob: u32 count, then u64 Galois elements.
+      return std::vector<std::uint8_t>(4 + 3 * 8, 0x5a);
   }
   return {0x00};
 }
@@ -308,7 +325,8 @@ TEST(CorruptionMatrix, EveryKindEveryFaultThrowsTyped) {
       MessageKind::kGcDecodeBits,    MessageKind::kGcGarblerLabels,
       MessageKind::kGcOutputBits,    MessageKind::kOtSetup,
       MessageKind::kOtReceiverColumns, MessageKind::kOtSenderMasked,
-      MessageKind::kGcTableChunk,
+      MessageKind::kGcTableChunk,    MessageKind::kSessionHello,
+      MessageKind::kSessionResume,   MessageKind::kKeyMaterial,
   };
   enum class Fault { kTruncateHeader, kTruncatePayload, kBitflip, kWrongKind, kReplay };
   const Fault faults[] = {Fault::kTruncateHeader, Fault::kTruncatePayload,
@@ -333,8 +351,8 @@ TEST(CorruptionMatrix, EveryKindEveryFaultThrowsTyped) {
           frame[FrameHeader::kWireSize + payload.size() / 2] ^= 0x04;
           break;
         case Fault::kWrongKind:
-          frame[FrameHeader::kKindOffset] =
-              static_cast<std::uint8_t>((static_cast<int>(kind) + 1) % 11);
+          frame[FrameHeader::kKindOffset] = static_cast<std::uint8_t>(
+              (static_cast<std::size_t>(kind) + 1) % kMessageKindCount);
           reseal_frame(frame);  // checksum-valid, semantically wrong
           break;
         case Fault::kReplay:
@@ -694,6 +712,31 @@ TEST(NoiseBudget, DecryptorTracksMinMargin) {
   EXPECT_DOUBLE_EQ(margin, dec.estimated_budget(noisy));
   // Consumed: next read is +inf until another decryption happens.
   EXPECT_TRUE(std::isinf(dec.take_min_margin()));
+}
+
+// Satellite: a noise-budget exhaustion mid-inference must surface from
+// PrimerEngine::run as the typed NoiseBudgetExhausted — not garbage logits —
+// and the partial run result must carry the margin that tripped the guard.
+TEST(NoiseBudget, ExhaustionPropagatesThroughPrimerEngineRun) {
+  Rng wrng(2026);
+  const auto weights = quantize(BertWeightsD::random(bert_nano(), wrng));
+  // An absurd floor makes the very first decryption refuse deterministically.
+  EnvGuard env(std::vector<std::pair<const char*, const char*>>{
+      {"PRIMER_NOISE_FLOOR_BITS", "10000"}});
+  PrimerEngine engine(weights, PrimerVariant::kFP);
+  try {
+    (void)engine.run({3, 17, 9, 28});
+    FAIL() << "expected NoiseBudgetExhausted";
+  } catch (const NoiseBudgetExhausted& e) {
+    EXPECT_GT(e.estimated_budget_bits(), 0.0);   // healthy ct, hostile floor
+    EXPECT_LT(e.estimated_budget_bits(), 10000.0);
+  }
+  // The engine snapshotted what the attempt saw before refusing.
+  ASSERT_NE(engine.last_partial(), nullptr);
+  const PrimerRunResult& partial = *engine.last_partial();
+  EXPECT_TRUE(std::isfinite(partial.min_noise_margin_bits));
+  EXPECT_GT(partial.min_noise_margin_bits, 0.0);
+  EXPECT_GT(partial.total_bytes, 0u);  // some traffic happened before the trip
 }
 
 TEST(NoiseBudget, DeserializeRejectsInsaneNoiseAndPartCount) {

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Process-kill / stall chaos soak: crash one party at seeded wire-frame
+offsets spanning every protocol phase and assert bit-identical recovery.
+
+Usage:
+  chaos_soak.py BUILD_DIR [--points 50] [--stall-every 10] [--seed 1]
+
+The harness first runs the probe cell (SessionChaos.ProbeTotalFrames with
+PRIMER_CHAOS_PROBE=1), which prints every checkpoint boundary's wire-frame
+index and the total frame count:
+
+  CHAOS phase=key_transfer end_frame=48
+  ...
+  CHAOS total_frames=329
+
+It then picks >= --points kill offsets that cover every phase segment
+(each segment gets a proportional share, and at least its boundary's first
+and last frame), and for each offset runs SessionChaos.KillRecovery with
+PRIMER_FAULT_KILL_AFTER=<offset>.  Every --stall-every'th point runs
+SessionChaos.StallRecovery instead: a 300-simulated-second stall against a
+60 s phase deadline, which must surface as DeadlineExceeded and resume.
+Each cell re-runs the full two-party inference, restarts the killed party,
+resumes from the last common checkpoint, and asserts the logits equal the
+plaintext reference bit for bit.
+
+A failing offset reproduces with:
+  PRIMER_FAULT_KILL_AFTER=<offset> ./test_session_resume \
+      --gtest_filter='SessionChaos.KillRecovery'
+"""
+
+import argparse
+import os
+import random
+import re
+import subprocess
+import sys
+
+TEST_BINARY = "test_session_resume"
+PROBE_FILTER = "SessionChaos.ProbeTotalFrames"
+KILL_FILTER = "SessionChaos.KillRecovery"
+STALL_FILTER = "SessionChaos.StallRecovery"
+PER_RUN_TIMEOUT_S = 300  # a hung resume must fail the soak, not the CI job
+
+
+def run_probe(binary):
+    env = dict(os.environ)
+    env["PRIMER_CHAOS_PROBE"] = "1"
+    cmd = [binary, f"--gtest_filter={PROBE_FILTER}"]
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True,
+                          timeout=PER_RUN_TIMEOUT_S)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        raise RuntimeError("chaos_soak: probe run failed")
+    phases = []  # (phase_name, end_frame), ascending
+    total = None
+    for line in proc.stdout.splitlines():
+        m = re.match(r"CHAOS phase=(\S+) end_frame=(\d+)", line)
+        if m:
+            phases.append((m.group(1), int(m.group(2))))
+        m = re.match(r"CHAOS total_frames=(\d+)", line)
+        if m:
+            total = int(m.group(1))
+    if total is None or not phases:
+        raise RuntimeError("chaos_soak: probe printed no CHAOS lines")
+    return phases, total
+
+
+def pick_points(phases, total, want, seed):
+    """Kill offsets covering every phase segment, `want` points minimum."""
+    # Segments between consecutive checkpoint boundaries, plus the tail up
+    # to the final frame.  Frame indices are 1-based.
+    bounds = [0] + [end for _, end in phases] + [total]
+    names = ["handshake+" + phases[0][0]] + \
+            [f"after_{p}" for p, _ in phases[:-1]] + ["tail"]
+    segments = []
+    for i in range(len(bounds) - 1):
+        lo, hi = bounds[i] + 1, bounds[i + 1]
+        if lo <= hi:
+            segments.append((names[i], lo, hi))
+
+    rng = random.Random(seed)
+    points = set()
+    # Every segment contributes its first and last frame (boundary kills are
+    # the nastiest: right before/after a checkpoint is persisted)...
+    for _, lo, hi in segments:
+        points.add(lo)
+        points.add(hi)
+    # ...then proportional random fill until the target count is met.
+    frames_total = sum(hi - lo + 1 for _, lo, hi in segments)
+    for _, lo, hi in segments:
+        share = max(1, round(want * (hi - lo + 1) / frames_total))
+        for _ in range(share):
+            points.add(rng.randint(lo, hi))
+    while len(points) < want:
+        _, lo, hi = segments[rng.randrange(len(segments))]
+        points.add(rng.randint(lo, hi))
+    return sorted(points), segments
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("build_dir")
+    ap.add_argument("--points", type=int, default=50)
+    ap.add_argument("--stall-every", type=int, default=10,
+                    help="every Nth point stalls instead of kills (0 = never)")
+    ap.add_argument("--seed", type=int, default=1)
+    args = ap.parse_args()
+
+    binary = os.path.join(args.build_dir, TEST_BINARY)
+    if not os.path.exists(binary):
+        print(f"chaos_soak: {binary} not found (build it first)",
+              file=sys.stderr)
+        return 1
+
+    phases, total = run_probe(binary)
+    points, segments = pick_points(phases, total, args.points, args.seed)
+    seg_desc = ", ".join(f"{name}[{lo}..{hi}]" for name, lo, hi in segments)
+    print(f"chaos_soak: {total} wire frames, segments: {seg_desc}")
+    print(f"chaos_soak: {len(points)} kill/stall points: {points}")
+
+    failures = []
+    for i, frame in enumerate(points):
+        stall = args.stall_every > 0 and i % args.stall_every == args.stall_every - 1
+        env = dict(os.environ)
+        if stall:
+            env["PRIMER_FAULT_STALL_AFTER"] = str(frame)
+            env["PRIMER_FAULT_STALL_S"] = "300"
+            env["PRIMER_PHASE_DEADLINE_S"] = "60"
+            gfilter = STALL_FILTER
+        else:
+            env["PRIMER_FAULT_KILL_AFTER"] = str(frame)
+            gfilter = KILL_FILTER
+        cmd = [binary, f"--gtest_filter={gfilter}", "--gtest_brief=1"]
+        kind = "stall" if stall else "kill"
+        try:
+            proc = subprocess.run(cmd, env=env, capture_output=True,
+                                  text=True, timeout=PER_RUN_TIMEOUT_S)
+        except subprocess.TimeoutExpired:
+            print(f"chaos_soak: {kind}@{frame}: TIMEOUT "
+                  f"(>{PER_RUN_TIMEOUT_S}s)", file=sys.stderr)
+            failures.append((kind, frame))
+            continue
+        if proc.returncode != 0:
+            print(f"chaos_soak: {kind}@{frame}: FAILED "
+                  f"(exit {proc.returncode})", file=sys.stderr)
+            sys.stderr.write(proc.stdout)
+            sys.stderr.write(proc.stderr)
+            failures.append((kind, frame))
+
+    n = len(points)
+    if failures:
+        print(f"chaos_soak: {len(failures)}/{n} points failed: {failures}",
+              file=sys.stderr)
+        return 1
+    print(f"chaos_soak: all {n} points recovered bit-identical "
+          f"(seed={args.seed}, stall_every={args.stall_every})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,12 @@ and checks every "framing_overhead" record:
   * byte_overhead_ratio — the 24-byte header's share of a
     ciphertext-sized message — must stay under --max-ratio too (it is
     ~0.04%, so this arm only trips if the header balloons).
+  * session_e2e_overhead_ratio — the session-resilience layer's cost on an
+    unfaulted run (two resume-handshake frames over the modeled network plus
+    checkpoint serialization on both parties) against the same end-to-end
+    time — must also stay under --max-ratio.  Deterministic by construction:
+    the handshake bytes and checkpoint count come from a live resilient run,
+    the network seconds from the paper's fixed testbed model.
 
 A file with no framing_overhead record FAILS: the gate would otherwise be
 green while checking nothing (e.g. after a bench rename).
@@ -57,19 +63,28 @@ def main():
     for rec in records:
         e2e = rec.get("e2e_overhead_ratio")
         byte = rec.get("byte_overhead_ratio")
+        session = rec.get("session_e2e_overhead_ratio")
         label = rec.get("label", "?")
-        if e2e is None or byte is None:
+        if e2e is None or byte is None or session is None:
             print(f"check_framing_overhead: FAIL [{label}]: record is "
                   f"missing ratio fields: {rec}", file=sys.stderr)
             ok = False
             continue
+        for field in ("session_checkpoints", "session_handshake_bytes"):
+            if not rec.get(field):
+                print(f"check_framing_overhead: FAIL [{label}]: {field} is "
+                      f"missing or zero — the resilient run measured nothing",
+                      file=sys.stderr)
+                ok = False
         status = "ok"
-        if e2e >= args.max_ratio or byte >= args.max_ratio:
+        if (e2e >= args.max_ratio or byte >= args.max_ratio
+                or session >= args.max_ratio):
             status = "FAIL"
             ok = False
         print(f"check_framing_overhead: {status} [{label}] "
               f"e2e_overhead={100 * e2e:.3f}% "
               f"byte_overhead={100 * byte:.4f}% "
+              f"session_overhead={100 * session:.3f}% "
               f"(limit {100 * args.max_ratio:.1f}%)")
     return 0 if ok else 1
 
