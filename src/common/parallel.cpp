@@ -23,7 +23,9 @@ namespace {
 thread_local bool tl_in_parallel = false;
 
 // Cancellation token polled at chunk boundaries (null = no cancellation).
-std::atomic<const CancelToken*> g_cancel{nullptr};
+// Thread-local to the dispatching thread: each serving worker scopes its
+// own session's token, so one session's cancel never aborts another's loop.
+thread_local const CancelToken* tl_cancel = nullptr;
 
 // One dispatched loop: workers claim [begin, end) chunks via an atomic
 // cursor, so the partition adapts to uneven chunk costs.
@@ -32,6 +34,9 @@ struct Task {
   std::size_t begin = 0;
   std::size_t end = 0;
   std::size_t chunk = 1;
+  // The dispatching thread's cancel token, captured at dispatch so pool
+  // workers poll the *session that owns this loop*, not their own slot.
+  const CancelToken* cancel = nullptr;
   std::atomic<std::size_t> next{0};
   std::size_t in_flight = 0;  // workers inside run_task (guarded by pool mutex)
   std::exception_ptr error;
@@ -67,6 +72,7 @@ class ThreadPool {
     task.begin = begin;
     task.end = end;
     task.chunk = chunk;
+    task.cancel = tl_cancel;  // run() executes on the dispatching thread
     task.next.store(begin, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lk(mu_);
@@ -87,7 +93,11 @@ class ThreadPool {
   static void run_task(Task& task) {
     const bool was_in_parallel = tl_in_parallel;
     tl_in_parallel = true;
-    const CancelToken* cancel = g_cancel.load(std::memory_order_acquire);
+    // Adopt the dispatcher's token for the duration so nested inline
+    // regions inside chunk bodies poll the owning session's cancellation.
+    const CancelToken* prev_cancel = tl_cancel;
+    tl_cancel = task.cancel;
+    const CancelToken* cancel = task.cancel;
     for (;;) {
       const std::size_t lo =
           task.next.fetch_add(task.chunk, std::memory_order_relaxed);
@@ -101,6 +111,7 @@ class ThreadPool {
         if (!task.error) task.error = std::current_exception();
       }
     }
+    tl_cancel = prev_cancel;
     tl_in_parallel = was_in_parallel;
   }
 
@@ -166,8 +177,7 @@ Executor& executor() {
 void serial_run(std::size_t begin, std::size_t end,
                 const std::function<void(std::size_t, std::size_t)>& body) {
   if (begin >= end) return;
-  const CancelToken* cancel = g_cancel.load(std::memory_order_acquire);
-  if (cancel != nullptr) cancel->check("parallel_for serial region");
+  if (tl_cancel != nullptr) tl_cancel->check("parallel_for serial region");
   body(begin, end);
 }
 
@@ -197,8 +207,10 @@ void dispatch(std::size_t begin, std::size_t end, std::size_t grains,
 }  // namespace
 
 void set_parallel_cancel_token(const CancelToken* token) {
-  g_cancel.store(token, std::memory_order_release);
+  tl_cancel = token;
 }
+
+const CancelToken* parallel_cancel_token() { return tl_cancel; }
 
 std::size_t hardware_threads() {
   const unsigned hc = std::thread::hardware_concurrency();

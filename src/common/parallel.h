@@ -32,8 +32,14 @@ class CancelToken;
 // polls at chunk boundaries: when the token fires, workers stop claiming
 // chunks and OperationCancelled is rethrown on the dispatching thread.
 // Cancellation is cooperative — a chunk body already running completes.
-// One global slot; the session layer installs it for the duration of a run.
+// The slot is thread-local to the *dispatching* thread: each serving
+// worker installs its own session's token, and a dispatched loop carries
+// the dispatcher's token to the pool workers it borrows — concurrent
+// sessions never see each other's cancellations.
 void set_parallel_cancel_token(const CancelToken* token);
+
+// The token installed on the calling thread (null if none).
+const CancelToken* parallel_cancel_token();
 
 // Number of threads the global executor is configured to use (>= 1).
 std::size_t num_threads();

@@ -10,9 +10,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "net/frame.h"
 
 namespace primer {
 
@@ -64,8 +65,12 @@ class Channel {
   std::vector<std::uint8_t> recv(Party to) {
     auto& q = queue_[static_cast<int>(to)];
     if (q.empty()) {
-      throw std::runtime_error(std::string("Channel::recv: no pending message for ") +
-                               party_name(to));
+      // An empty queue means the peer never produced the frame this step
+      // expects — the wire equivalent of a sequence gap, and retryable: a
+      // session-resume handshake replays the missing prefix.
+      throw ProtocolError(ProtocolErrorKind::kSequenceGap,
+                          std::string("Channel::recv: no pending message for ") +
+                              party_name(to));
     }
     auto msg = std::move(q.front());
     q.pop_front();

@@ -1,47 +1,25 @@
 #include "net/fault.h"
 
-#include <cstdlib>
-#include <string>
+#include "common/env.h"
 
 namespace primer {
-
-namespace {
-
-double env_double(const char* name, double fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  try {
-    return std::stod(v);
-  } catch (const std::exception&) {
-    return fallback;
-  }
-}
-
-std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  try {
-    return static_cast<std::uint64_t>(std::stoull(v));
-  } catch (const std::exception&) {
-    return fallback;
-  }
-}
-
-}  // namespace
 
 FaultSpec FaultSpec::from_env() {
   FaultSpec s;
   s.seed = env_u64("PRIMER_FAULT_SEED", s.seed);
-  s.drop = env_double("PRIMER_FAULT_DROP", s.drop);
-  s.duplicate = env_double("PRIMER_FAULT_DUP", s.duplicate);
-  s.reorder = env_double("PRIMER_FAULT_REORDER", s.reorder);
-  s.truncate = env_double("PRIMER_FAULT_TRUNCATE", s.truncate);
-  s.bitflip = env_double("PRIMER_FAULT_BITFLIP", s.bitflip);
-  s.delay = env_double("PRIMER_FAULT_DELAY", s.delay);
-  s.delay_s = env_double("PRIMER_FAULT_DELAY_S", s.delay_s);
+  s.drop = env_double("PRIMER_FAULT_DROP", s.drop, 0.0, 1.0);
+  s.duplicate = env_double("PRIMER_FAULT_DUP", s.duplicate, 0.0, 1.0);
+  s.reorder = env_double("PRIMER_FAULT_REORDER", s.reorder, 0.0, 1.0);
+  s.truncate = env_double("PRIMER_FAULT_TRUNCATE", s.truncate, 0.0, 1.0);
+  s.bitflip = env_double("PRIMER_FAULT_BITFLIP", s.bitflip, 0.0, 1.0);
+  s.delay = env_double("PRIMER_FAULT_DELAY", s.delay, 0.0, 1.0);
+  s.delay_s = env_double("PRIMER_FAULT_DELAY_S", s.delay_s, 0.0, 3600.0);
   s.kill_after = env_u64("PRIMER_FAULT_KILL_AFTER", s.kill_after);
   s.stall_after = env_u64("PRIMER_FAULT_STALL_AFTER", s.stall_after);
-  s.stall_s = env_double("PRIMER_FAULT_STALL_S", s.stall_s);
+  s.stall_s = env_double("PRIMER_FAULT_STALL_S", s.stall_s, 0.0, 86400.0);
+  s.stall_wall_s =
+      env_double("PRIMER_FAULT_STALL_WALL_S", s.stall_wall_s, 0.0, 3600.0);
+  s.hostile_after = env_u64("PRIMER_FAULT_HOSTILE_AFTER", s.hostile_after);
   return s;
 }
 
@@ -51,6 +29,11 @@ FaultInjector::WireEvent FaultInjector::on_wire_frame() {
   if (spec_.stall_after != 0 && ev.frame_index == spec_.stall_after) {
     ++counters_.stalled;
     ev.stall_s = spec_.stall_s;
+    ev.stall_wall_s = spec_.stall_wall_s;
+  }
+  if (spec_.hostile_after != 0 && ev.frame_index == spec_.hostile_after) {
+    ++counters_.hostile;
+    ev.hostile = true;
   }
   if (spec_.kill_after != 0 && ev.frame_index == spec_.kill_after) {
     ++counters_.killed;

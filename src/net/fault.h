@@ -24,6 +24,18 @@
 //                             frame (1-based; 0 disables)
 //   PRIMER_FAULT_STALL_AFTER  stall delivery of the Nth wire frame
 //   PRIMER_FAULT_STALL_S      seconds the stall lasts (simulated time)
+//   PRIMER_FAULT_STALL_WALL_S real wall-clock seconds the stall also burns
+//                             (for exercising wall-time watchdogs/eviction)
+//   PRIMER_FAULT_HOSTILE_AFTER  at the Nth wire frame, flip a payload bit
+//                             and reseal the CRC: the frame arrives
+//                             checksum-valid but structurally hostile, so
+//                             the receiver's validator must reject it as a
+//                             *fatal* kMalformed (models a malicious peer,
+//                             not a lossy wire)
+//
+// All knob parsing goes through common/env.h: malformed values throw,
+// out-of-range values clamp — a typo'd knob can never silently configure a
+// different experiment than the one asked for.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +57,8 @@ struct FaultSpec {
   std::uint64_t kill_after = 0;   // kill at the Nth wire frame (0 = off)
   std::uint64_t stall_after = 0;  // stall the Nth wire frame (0 = off)
   double stall_s = 30.0;          // stall duration (simulated seconds)
+  double stall_wall_s = 0.0;      // stall duration (real wall seconds)
+  std::uint64_t hostile_after = 0;  // reseal-corrupt the Nth frame (0 = off)
 
   // Probabilistic per-frame faults (the corruption path).
   bool any_random() const {
@@ -53,7 +67,8 @@ struct FaultSpec {
   }
 
   bool any() const {
-    return any_random() || kill_after > 0 || stall_after > 0;
+    return any_random() || kill_after > 0 || stall_after > 0 ||
+           hostile_after > 0;
   }
 
   // Reads PRIMER_FAULT_* from the environment; unset knobs keep defaults.
@@ -88,6 +103,8 @@ class FaultInjector {
     std::uint64_t frame_index = 0;  // 1-based wire frame counter
     bool kill = false;              // caller must abandon the process
     double stall_s = 0.0;           // extra delivery delay to charge
+    double stall_wall_s = 0.0;      // real wall seconds to burn in transmit
+    bool hostile = false;           // mutate payload + reseal CRC
   };
   WireEvent on_wire_frame();
 
@@ -102,9 +119,10 @@ class FaultInjector {
     std::uint64_t delayed = 0;
     std::uint64_t killed = 0;
     std::uint64_t stalled = 0;
+    std::uint64_t hostile = 0;
     std::uint64_t total() const {
       return dropped + duplicated + reordered + truncated + bitflipped +
-             delayed + killed + stalled;
+             delayed + killed + stalled + hostile;
     }
   };
   const Counters& counters() const { return counters_; }

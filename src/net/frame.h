@@ -86,6 +86,7 @@ enum class ProtocolErrorKind {
   kDeadlineExceeded,  // a phase overran its deadline budget (see session.h)
   kResumeRejected,    // resume handshake refused (session/params mismatch)
   kResumeDiverged,    // replayed frame does not match the journaled CRC
+  kServerOverloaded,  // admission control shed the request (see serving/)
 };
 
 inline const char* protocol_error_kind_name(ProtocolErrorKind k) {
@@ -102,6 +103,7 @@ inline const char* protocol_error_kind_name(ProtocolErrorKind k) {
     case ProtocolErrorKind::kDeadlineExceeded: return "deadline_exceeded";
     case ProtocolErrorKind::kResumeRejected: return "resume_rejected";
     case ProtocolErrorKind::kResumeDiverged: return "resume_diverged";
+    case ProtocolErrorKind::kServerOverloaded: return "server_overloaded";
   }
   return "unknown";
 }
@@ -120,6 +122,7 @@ constexpr bool protocol_error_retryable(ProtocolErrorKind k) {
     case ProtocolErrorKind::kRetriesExhausted:
     case ProtocolErrorKind::kPeerKilled:
     case ProtocolErrorKind::kDeadlineExceeded:
+    case ProtocolErrorKind::kServerOverloaded:
       return true;
     case ProtocolErrorKind::kBadMagic:
     case ProtocolErrorKind::kBadVersion:

@@ -1,42 +1,23 @@
 #include "net/framed_channel.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <limits>
 #include <stdexcept>
 #include <string>
+#include <thread>
+
+#include "common/env.h"
+#include "common/timing.h"
 
 namespace primer {
 
-namespace {
-
-double env_double(const char* name, double fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  try {
-    return std::stod(v);
-  } catch (const std::exception&) {
-    return fallback;
-  }
-}
-
-int env_int(const char* name, int fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  try {
-    return std::stoi(v);
-  } catch (const std::exception&) {
-    return fallback;
-  }
-}
-
-}  // namespace
-
 RetryPolicy RetryPolicy::from_env() {
   RetryPolicy p;
-  p.max_attempts = std::max(0, env_int("PRIMER_RETRY_MAX", p.max_attempts));
-  p.backoff_s = env_double("PRIMER_RETRY_BACKOFF_S", p.backoff_s);
+  p.max_attempts =
+      static_cast<int>(env_long("PRIMER_RETRY_MAX", p.max_attempts, 0, 1000));
+  p.backoff_s = env_double("PRIMER_RETRY_BACKOFF_S", p.backoff_s, 0.0, 60.0);
   return p;
 }
 
@@ -65,6 +46,28 @@ void FramedChannel::transmit(Party from, DirState& dir,
     if (deadline_ != nullptr) {
       deadline_->check(describe(other(from)) + ": stalled wire frame " +
                        std::to_string(ev.frame_index));
+    }
+  }
+  if (ev.stall_wall_s > 0) {
+    // Burn real wall time in short slices, polling the deadline each slice
+    // so an external cancel (session eviction, wall watchdog) interrupts the
+    // stall instead of waiting it out.
+    Stopwatch sw;
+    const std::string what = describe(other(from)) +
+                             ": wall-stalled wire frame " +
+                             std::to_string(ev.frame_index);
+    while (sw.seconds() < ev.stall_wall_s) {
+      if (deadline_ != nullptr) deadline_->check(what);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  if (ev.hostile) {
+    // Hostile-peer model: flip the high bit of the payload's leading count
+    // field and reseal the CRC.  The frame parses cleanly — only the
+    // receiver's structural validator can catch it, as a fatal kMalformed.
+    if (frame.size() > FrameHeader::kWireSize + 3) {
+      frame[FrameHeader::kWireSize + 3] ^= 0x80;
+      reseal_frame(frame);
     }
   }
   if (ev.kill) {

@@ -30,9 +30,13 @@
 // resource in the paper's WAN setting — is only paid for once.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -44,6 +48,81 @@
 #include "net/frame.h"
 
 namespace primer {
+
+// Liveness heartbeat a running session publishes for external observers
+// (the serving runtime's eviction policy, health snapshots).  The session
+// thread beats it at step and checkpoint granularity; observer threads read
+// it concurrently, so the counters are atomics and the phase label is
+// mutex-guarded.
+class SessionProgress {
+ public:
+  void beat(const char* phase) {
+    last_beat_ns_.store(now_ns(), std::memory_order_release);
+    if (phase != nullptr) {
+      std::lock_guard<std::mutex> lk(mu_);
+      phase_ = phase;
+    }
+  }
+  void on_step() {
+    steps_.fetch_add(1, std::memory_order_relaxed);
+    last_beat_ns_.store(now_ns(), std::memory_order_release);
+  }
+  void on_checkpoint(std::uint32_t epoch) {
+    checkpoints_.fetch_add(1, std::memory_order_relaxed);
+    epoch_.store(epoch, std::memory_order_relaxed);
+    last_beat_ns_.store(now_ns(), std::memory_order_release);
+  }
+
+  std::uint64_t steps() const { return steps_.load(std::memory_order_relaxed); }
+  std::uint64_t checkpoints() const {
+    return checkpoints_.load(std::memory_order_relaxed);
+  }
+  std::uint32_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
+  std::string phase() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return phase_;
+  }
+  // Wall seconds since the session last showed signs of life (never
+  // negative; a session that has not beaten yet reports time since
+  // construction).
+  double seconds_since_beat() const {
+    const std::int64_t last = last_beat_ns_.load(std::memory_order_acquire);
+    const std::int64_t d = now_ns() - last;
+    return d > 0 ? static_cast<double>(d) * 1e-9 : 0.0;
+  }
+
+ private:
+  static std::int64_t now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  std::atomic<std::uint64_t> steps_{0};
+  std::atomic<std::uint64_t> checkpoints_{0};
+  std::atomic<std::uint32_t> epoch_{0};
+  std::atomic<std::int64_t> last_beat_ns_{now_ns()};
+  mutable std::mutex mu_;
+  std::string phase_ = "queued";
+};
+
+// Thrown by the runtime when a drain request catches a session at a phase
+// boundary: the checkpoint for `epoch` was persisted first, so a later
+// request from the same client resumes exactly there.  Deliberately not a
+// ProtocolError — drain is an orderly shutdown, not a wire fault, and the
+// retry loops must not treat it as retryable.
+class SessionDrained : public std::runtime_error {
+ public:
+  SessionDrained(std::uint32_t epoch, const std::string& phase)
+      : std::runtime_error("session drained at checkpoint epoch " +
+                           std::to_string(epoch) + " (after phase '" + phase +
+                           "')"),
+        epoch_(epoch) {}
+  std::uint32_t epoch() const { return epoch_; }
+
+ private:
+  std::uint32_t epoch_;
+};
 
 // One phase boundary's durable snapshot.  Both parties save an identical
 // checkpoint (the in-process transport is symmetric: everything one party

@@ -120,6 +120,11 @@ PrimerRunResult PrimerEngine::run(const std::vector<std::size_t>& tokens) {
   return run_session(tokens, SessionOptions::from_env());
 }
 
+PrimerRunResult PrimerEngine::run_with_options(
+    const std::vector<std::size_t>& tokens, const SessionOptions& options) {
+  return run_session(tokens, options);
+}
+
 PrimerRunResult PrimerEngine::run_resilient(
     const std::vector<std::size_t>& tokens, SessionStore& store,
     int max_restarts) {

@@ -107,6 +107,15 @@ class PrimerEngine {
   PrimerRunResult run_resilient(const std::vector<std::size_t>& tokens,
                                 SessionStore& store, int max_restarts = 5);
 
+  // One protocol attempt under caller-supplied session options (store,
+  // faults, deadline, cancel token, progress heartbeat, drain flag).  No
+  // internal retry loop: every failure — including retryable transport
+  // errors, OperationCancelled and SessionDrained — propagates to the
+  // caller, which owns the attempt/restart policy.  The serving runtime
+  // (src/serving/) builds its per-session loop on this.
+  PrimerRunResult run_with_options(const std::vector<std::size_t>& tokens,
+                                   const SessionOptions& options);
+
   // Telemetry from the most recent failed attempt (costs accrued before the
   // fault, min noise margin observed); null until a run throws.
   const PrimerRunResult* last_partial() const { return last_partial_.get(); }

@@ -1,23 +1,12 @@
 #include "proto/runtime.h"
 
-#include <cstdlib>
-
+#include "common/env.h"
 #include "common/parallel.h"
 #include "net/crc32c.h"
 
 namespace primer {
 
 namespace {
-
-double env_double(const char* name, double fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  try {
-    return std::stod(v);
-  } catch (const std::exception&) {
-    return fallback;
-  }
-}
 
 constexpr std::size_t kMaxGaloisKeys = 4096;
 
@@ -27,7 +16,8 @@ SessionOptions SessionOptions::from_env() {
   SessionOptions o;
   o.faults = FaultSpec::from_env();
   o.retry = RetryPolicy::from_env();
-  o.phase_deadline_s = env_double("PRIMER_PHASE_DEADLINE_S", 0.0);
+  o.phase_deadline_s =
+      env_double("PRIMER_PHASE_DEADLINE_S", 0.0, 0.0, 86400.0);
   return o;
 }
 
@@ -75,6 +65,10 @@ void ProtocolContext::step(const std::string& phase,
                            const std::function<void()>& fn) {
   if (deadline.enabled()) {
     deadline.check("step " + phase + "/" + step_name);
+  }
+  if (session.progress != nullptr) {
+    session.progress->beat(phase.c_str());
+    session.progress->on_step();
   }
   const auto net_before = channel.snapshot();
   const HeOpCounters he_before = eval.counters();
@@ -178,6 +172,13 @@ void ProtocolContext::checkpoint(const std::string& completed) {
     session.store->save(Party::kClient, cp);
     session.store->save(Party::kServer, cp);
     framed.set_epoch(epoch_);
+    if (session.progress != nullptr) session.progress->on_checkpoint(epoch_);
+    // Drain catches the run at the boundary *after* the snapshot is
+    // persisted: the next request for this client resumes from here.
+    if (session.drain != nullptr &&
+        session.drain->load(std::memory_order_acquire)) {
+      throw SessionDrained(epoch_, completed);
+    }
   }
   deadline.start_phase("after_" + completed);
 }

@@ -7,6 +7,7 @@
 // accounting matches a genuine deployment.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -40,9 +41,19 @@ struct SessionOptions {
   double phase_deadline_s = 0.0;
   // Optional watchdog-armed token folded into the same deadline checks.
   const CancelToken* cancel = nullptr;
+  // Optional liveness heartbeat beaten at step/checkpoint granularity; the
+  // serving runtime's eviction policy reads it from observer threads.
+  SessionProgress* progress = nullptr;
+  // Optional drain flag: when it flips true, the run stops at the *next*
+  // checkpoint boundary — the checkpoint is persisted first, then
+  // SessionDrained is thrown, so a later request resumes exactly there.
+  // Only honored when a store is attached (without one there is nothing to
+  // resume from, so the run is allowed to finish).
+  const std::atomic<bool>* drain = nullptr;
 
   // Faults and retry from PRIMER_FAULT_* / PRIMER_RETRY_*, deadline from
-  // PRIMER_PHASE_DEADLINE_S; no store or cancellation.
+  // PRIMER_PHASE_DEADLINE_S; no store or cancellation.  Malformed values
+  // throw std::invalid_argument, out-of-range values clamp (common/env.h).
   static SessionOptions from_env();
 };
 

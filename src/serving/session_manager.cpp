@@ -1,0 +1,82 @@
+#include "serving/session_manager.h"
+
+namespace primer {
+
+SessionManager::Acquire SessionManager::acquire(std::uint64_t client_id,
+                                                std::uint64_t fingerprint,
+                                                Lease* lease,
+                                                std::string* why) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = clients_[client_id];
+  if (slot == nullptr) slot = std::make_unique<ClientState>();
+  ClientState& c = *slot;
+  if (c.quarantined) {
+    if (why != nullptr) *why = c.quarantine_reason;
+    return Acquire::kQuarantined;
+  }
+  if (c.in_flight) {
+    if (why != nullptr) *why = "client already has an in-flight session";
+    return Acquire::kBusy;
+  }
+  if (c.fingerprint != fingerprint) {
+    // Different request identity: the old journal describes a different
+    // protocol run, so resuming against it would fork.  Start fresh.
+    if (c.fingerprint != 0) ++resets_;
+    c.store.clear();
+    c.fingerprint = fingerprint;
+  }
+  c.in_flight = true;
+  lease->store = &c.store;
+  lease->resumable = c.store.latest_epoch(Party::kClient) != 0;
+  if (lease->resumable) ++resumable_hits_;
+  return Acquire::kOk;
+}
+
+void SessionManager::release(std::uint64_t client_id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = clients_.find(client_id);
+  if (it != clients_.end()) it->second->in_flight = false;
+}
+
+void SessionManager::quarantine(std::uint64_t client_id,
+                                const std::string& reason) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = clients_[client_id];
+  if (slot == nullptr) slot = std::make_unique<ClientState>();
+  slot->quarantined = true;
+  slot->quarantine_reason = reason;
+  // Poisoned history: cached keys and checkpoints came from a session that
+  // produced structurally hostile traffic — drop them all.
+  slot->store.clear();
+  slot->fingerprint = 0;
+}
+
+void SessionManager::unquarantine(std::uint64_t client_id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = clients_.find(client_id);
+  if (it == clients_.end()) return;
+  it->second->quarantined = false;
+  it->second->quarantine_reason.clear();
+}
+
+bool SessionManager::is_quarantined(std::uint64_t client_id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = clients_.find(client_id);
+  return it != clients_.end() && it->second->quarantined;
+}
+
+SessionManager::Stats SessionManager::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Stats s;
+  s.clients = clients_.size();
+  for (const auto& [id, c] : clients_) {
+    if (c->quarantined) ++s.quarantined;
+    if (c->in_flight) ++s.in_flight;
+    s.store_bytes += c->store.blob_bytes();
+  }
+  s.resumable_hits = resumable_hits_;
+  s.resets = resets_;
+  return s;
+}
+
+}  // namespace primer

@@ -1,0 +1,89 @@
+// Per-client session state cache for the serving runtime.
+//
+// The expensive part of a Primer session is not compute but *wire*: the
+// multi-MB Galois/relin key transfer plus every ciphertext the protocol
+// already moved.  The SessionManager keeps one SessionStore per client
+// across requests, so a reconnecting client resumes through the PR 8
+// kSessionHello/kSessionResume handshake and replays the checkpointed
+// prefix — key material included — at zero wire cost.
+//
+// Isolation rules:
+//   * at most one in-flight session per client (two concurrent sessions
+//     would race one checkpoint history);
+//   * the cache is keyed by a request fingerprint — a client that shows up
+//     with different tokens/model gets a cleared store, because replaying a
+//     different protocol against an old journal would (correctly) die with
+//     kResumeDiverged;
+//   * a client whose session died on a *fatal* protocol error is
+//     quarantined: its cached keys and checkpoints are dropped (they are
+//     untrustworthy) and later requests are refused until released.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "net/session.h"
+
+namespace primer {
+
+class SessionManager {
+ public:
+  enum class Acquire {
+    kOk,           // lease granted
+    kQuarantined,  // client poisoned earlier; request must be refused
+    kBusy,         // client already has an in-flight session
+  };
+
+  struct Lease {
+    SessionStore* store = nullptr;
+    // True when the store already held checkpoints for this fingerprint —
+    // the resumed run will replay them instead of re-paying the wire.
+    bool resumable = false;
+  };
+
+  // Grants (or refuses) the client's session slot.  On kOk the lease's
+  // store stays valid until release(); on a fingerprint change the store is
+  // cleared first.  `why` (optional) receives the quarantine reason.
+  Acquire acquire(std::uint64_t client_id, std::uint64_t fingerprint,
+                  Lease* lease, std::string* why = nullptr);
+
+  void release(std::uint64_t client_id);
+
+  // Poisons the client: clears its cached key material + checkpoints and
+  // refuses future acquires until unquarantine().  Called by the server
+  // when a session dies on a fatal (non-retryable) protocol error.
+  void quarantine(std::uint64_t client_id, const std::string& reason);
+  void unquarantine(std::uint64_t client_id);
+  bool is_quarantined(std::uint64_t client_id) const;
+
+  struct Stats {
+    std::size_t clients = 0;      // distinct clients seen
+    std::size_t quarantined = 0;  // currently poisoned
+    std::size_t in_flight = 0;    // leases outstanding
+    std::size_t store_bytes = 0;  // persisted checkpoint bytes, all clients
+    std::uint64_t resumable_hits = 0;  // leases that found checkpoints
+    std::uint64_t resets = 0;          // stores cleared on fingerprint change
+  };
+  Stats stats() const;
+
+ private:
+  struct ClientState {
+    SessionStore store;
+    std::uint64_t fingerprint = 0;
+    bool in_flight = false;
+    bool quarantined = false;
+    std::string quarantine_reason;
+  };
+
+  // unique_ptr keeps ClientState (and the SessionStore a worker holds a
+  // lease on) at a stable address while the map rehashes under new clients.
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::unique_ptr<ClientState>> clients_;
+  std::uint64_t resumable_hits_ = 0;
+  std::uint64_t resets_ = 0;
+};
+
+}  // namespace primer

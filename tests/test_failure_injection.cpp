@@ -627,6 +627,110 @@ TEST(RetryLayer, SeededSoakGcSessionNeverCrashes) {
   }
 }
 
+// --- typed transport primitives ----------------------------------------------
+
+// The raw Channel is the bottom of the transport stack; even below the
+// framing layer, "nothing pending" must be a typed retryable ProtocolError
+// (a sequence gap the resume handshake can heal), never a bare
+// std::runtime_error that bypasses the retry/restart taxonomy.
+TEST(FailureInjection, BareChannelRecvOnEmptyQueueIsTypedRetryable) {
+  Channel ch;
+  try {
+    (void)ch.recv(Party::kClient);
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.kind(), ProtocolErrorKind::kSequenceGap);
+    EXPECT_TRUE(e.retryable());
+    EXPECT_NE(std::string(e.what()).find("client"), std::string::npos);
+  }
+  // A pending message still round-trips untouched.
+  ch.send(Party::kServer, std::vector<std::uint8_t>{1, 2, 3});
+  EXPECT_EQ(ch.recv(Party::kClient), (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+// Deterministic hostile corruption: PRIMER_FAULT_HOSTILE_AFTER mutates the
+// Nth wire frame *and reseals its checksum*, so the defect survives the
+// transport layer and must be caught by structural validation — a fatal
+// kMalformed, not a retryable CRC error the retry layer would absorb.
+TEST(FailureInjection, HostileResealedFrameIsFatalMalformed) {
+  Rng wrng(2025);
+  const auto weights = quantize(BertWeightsD::random(bert_nano(), wrng));
+  // Frame 1 is the key-transfer manifest; flipping the high bit of its count
+  // field claims an absurd number of Galois keys.
+  EnvGuard env(std::vector<std::pair<const char*, const char*>>{{"PRIMER_FAULT_HOSTILE_AFTER", "1"}});
+  PrimerEngine engine(weights, PrimerVariant::kF);
+  try {
+    (void)engine.run({3, 17, 9, 28});
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.kind(), ProtocolErrorKind::kMalformed) << e.what();
+    EXPECT_FALSE(e.retryable());
+  }
+}
+
+// --- env-knob validation (SessionOptions / FaultSpec / RetryPolicy) ----------
+
+// Malformed PRIMER_* env values must fail loudly at parse time, not be
+// silently read as 0 and change behavior.
+TEST(EnvValidation, MalformedValuesFailLoudly) {
+  {
+    EnvGuard env(std::vector<std::pair<const char*, const char*>>{{"PRIMER_FAULT_DROP", "abc"}});
+    EXPECT_THROW((void)FaultSpec::from_env(), std::invalid_argument);
+  }
+  {
+    EnvGuard env(std::vector<std::pair<const char*, const char*>>{{"PRIMER_FAULT_DROP", "0.25xyz"}});  // trailing junk
+    EXPECT_THROW((void)FaultSpec::from_env(), std::invalid_argument);
+  }
+  {
+    EnvGuard env(std::vector<std::pair<const char*, const char*>>{{"PRIMER_FAULT_KILL_AFTER", "-3"}});  // negative into u64
+    EXPECT_THROW((void)FaultSpec::from_env(), std::invalid_argument);
+  }
+  {
+    EnvGuard env(std::vector<std::pair<const char*, const char*>>{{"PRIMER_RETRY_MAX", "many"}});
+    EXPECT_THROW((void)RetryPolicy::from_env(), std::invalid_argument);
+  }
+  {
+    EnvGuard env(std::vector<std::pair<const char*, const char*>>{{"PRIMER_PHASE_DEADLINE_S", "1e"}});
+    EXPECT_THROW((void)SessionOptions::from_env(), std::invalid_argument);
+  }
+  {
+    EnvGuard env(std::vector<std::pair<const char*, const char*>>{{"PRIMER_FAULT_STALL_S", "inf"}});  // non-finite
+    EXPECT_THROW((void)FaultSpec::from_env(), std::invalid_argument);
+  }
+}
+
+// Out-of-range but well-formed values clamp deterministically to the knob's
+// documented domain.
+TEST(EnvValidation, OutOfRangeValuesClampDeterministically) {
+  {
+    EnvGuard env({{"PRIMER_FAULT_DROP", "2.5"}, {"PRIMER_FAULT_DUP", "-0.5"}});
+    const FaultSpec s = FaultSpec::from_env();
+    EXPECT_DOUBLE_EQ(s.drop, 1.0);
+    EXPECT_DOUBLE_EQ(s.duplicate, 0.0);
+  }
+  {
+    EnvGuard env({{"PRIMER_RETRY_MAX", "999999"},
+                  {"PRIMER_RETRY_BACKOFF_S", "1000"}});
+    const RetryPolicy p = RetryPolicy::from_env();
+    EXPECT_EQ(p.max_attempts, 1000);
+    EXPECT_DOUBLE_EQ(p.backoff_s, 60.0);
+  }
+  {
+    EnvGuard env(std::vector<std::pair<const char*, const char*>>{{"PRIMER_PHASE_DEADLINE_S", "-5"}});
+    const SessionOptions o = SessionOptions::from_env();
+    EXPECT_DOUBLE_EQ(o.phase_deadline_s, 0.0);
+  }
+}
+
+// Unset and empty values keep defaults (no accidental zeroing).
+TEST(EnvValidation, UnsetAndEmptyKeepDefaults) {
+  EnvGuard env({{"PRIMER_FAULT_DROP", ""}, {"PRIMER_RETRY_MAX", "  "}});
+  const FaultSpec s = FaultSpec::from_env();
+  EXPECT_DOUBLE_EQ(s.drop, FaultSpec{}.drop);
+  const RetryPolicy p = RetryPolicy::from_env();
+  EXPECT_EQ(p.max_attempts, RetryPolicy{}.max_attempts);
+}
+
 // --- noise budget ------------------------------------------------------------
 
 TEST(NoiseBudget, ExhaustedBudgetThrowsInsteadOfGarbage) {

@@ -242,7 +242,8 @@ TEST(ErrorTaxonomy, RetryableVersusFatal) {
   for (const ProtocolErrorKind k :
        {ProtocolErrorKind::kTruncated, ProtocolErrorKind::kChecksumMismatch,
         ProtocolErrorKind::kSequenceGap, ProtocolErrorKind::kRetriesExhausted,
-        ProtocolErrorKind::kPeerKilled, ProtocolErrorKind::kDeadlineExceeded}) {
+        ProtocolErrorKind::kPeerKilled, ProtocolErrorKind::kDeadlineExceeded,
+        ProtocolErrorKind::kServerOverloaded}) {
     EXPECT_TRUE(protocol_error_retryable(k)) << protocol_error_kind_name(k);
   }
   // ...structural and identity defects are not.

@@ -4,6 +4,7 @@ offsets spanning every protocol phase and assert bit-identical recovery.
 
 Usage:
   chaos_soak.py BUILD_DIR [--points 50] [--stall-every 10] [--seed 1]
+                [--json-out FILE]
 
 The harness first runs the probe cell (SessionChaos.ProbeTotalFrames with
 PRIMER_CHAOS_PROBE=1), which prints every checkpoint boundary's wire-frame
@@ -29,6 +30,7 @@ A failing offset reproduces with:
 """
 
 import argparse
+import json
 import os
 import random
 import re
@@ -105,6 +107,8 @@ def main():
     ap.add_argument("--stall-every", type=int, default=10,
                     help="every Nth point stalls instead of kills (0 = never)")
     ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--json-out", default=None,
+                    help="write a machine-readable JSON summary artifact here")
     args = ap.parse_args()
 
     binary = os.path.join(args.build_dir, TEST_BINARY)
@@ -120,6 +124,7 @@ def main():
     print(f"chaos_soak: {len(points)} kill/stall points: {points}")
 
     failures = []
+    runs = []
     for i, frame in enumerate(points):
         stall = args.stall_every > 0 and i % args.stall_every == args.stall_every - 1
         env = dict(os.environ)
@@ -133,22 +138,41 @@ def main():
             gfilter = KILL_FILTER
         cmd = [binary, f"--gtest_filter={gfilter}", "--gtest_brief=1"]
         kind = "stall" if stall else "kill"
+        record = {"kind": kind, "frame": frame, "ok": False}
         try:
             proc = subprocess.run(cmd, env=env, capture_output=True,
                                   text=True, timeout=PER_RUN_TIMEOUT_S)
         except subprocess.TimeoutExpired:
             print(f"chaos_soak: {kind}@{frame}: TIMEOUT "
                   f"(>{PER_RUN_TIMEOUT_S}s)", file=sys.stderr)
+            record["error"] = "timeout"
             failures.append((kind, frame))
+            runs.append(record)
             continue
         if proc.returncode != 0:
             print(f"chaos_soak: {kind}@{frame}: FAILED "
                   f"(exit {proc.returncode})", file=sys.stderr)
             sys.stderr.write(proc.stdout)
             sys.stderr.write(proc.stderr)
+            record["error"] = f"exit {proc.returncode}"
             failures.append((kind, frame))
+        else:
+            record["ok"] = True
+        runs.append(record)
 
     n = len(points)
+    if args.json_out:
+        with open(args.json_out, "w") as f:
+            json.dump({"tool": "chaos_soak", "seed": args.seed,
+                       "total_frames": total,
+                       "segments": [{"name": name, "lo": lo, "hi": hi}
+                                    for name, lo, hi in segments],
+                       "points_run": n,
+                       "failures": [{"kind": k, "frame": fr}
+                                    for k, fr in failures],
+                       "runs": runs}, f, indent=2)
+            f.write("\n")
+        print(f"chaos_soak: wrote {args.json_out}")
     if failures:
         print(f"chaos_soak: {len(failures)}/{n} points failed: {failures}",
               file=sys.stderr)

@@ -5,6 +5,7 @@ Usage:
   corruption_soak.py BUILD_DIR [--seeds 25] [--start 1]
                      [--drop P] [--dup P] [--reorder P]
                      [--truncate P] [--bitflip P] [--delay P]
+                     [--json-out FILE]
 
 For every seed the seeded soak test (RetryLayer.SeededSoakGcSessionNeverCrashes
 in test_failure_injection) runs a full garbled-circuit session over a
@@ -20,6 +21,7 @@ per seed, so a failing seed reproduces with:
 """
 
 import argparse
+import json
 import os
 import subprocess
 import sys
@@ -36,6 +38,8 @@ def main():
     ap.add_argument("--start", type=int, default=1)
     for knob in ("drop", "dup", "reorder", "truncate", "bitflip", "delay"):
         ap.add_argument(f"--{knob}", type=float, default=None)
+    ap.add_argument("--json-out", default=None,
+                    help="write a machine-readable JSON summary artifact here")
     args = ap.parse_args()
 
     binary = os.path.join(args.build_dir, TEST_BINARY)
@@ -58,26 +62,42 @@ def main():
         mix = {}  # let the test use its built-in defaults
 
     failures = []
+    runs = []
     for seed in range(args.start, args.start + args.seeds):
         env = dict(os.environ)
         env["PRIMER_FAULT_SEED"] = str(seed)
         for knob, p in mix.items():
             env[f"PRIMER_FAULT_{knob.upper()}"] = str(p)
         cmd = [binary, f"--gtest_filter={TEST_FILTER}", "--gtest_brief=1"]
+        record = {"seed": seed, "ok": False}
         try:
             proc = subprocess.run(cmd, env=env, capture_output=True,
                                   text=True, timeout=PER_RUN_TIMEOUT_S)
         except subprocess.TimeoutExpired:
             print(f"corruption_soak: seed {seed}: TIMEOUT "
                   f"(>{PER_RUN_TIMEOUT_S}s)", file=sys.stderr)
+            record["error"] = "timeout"
             failures.append(seed)
+            runs.append(record)
             continue
         if proc.returncode != 0:
             print(f"corruption_soak: seed {seed}: FAILED "
                   f"(exit {proc.returncode})", file=sys.stderr)
             sys.stderr.write(proc.stdout)
             sys.stderr.write(proc.stderr)
+            record["error"] = f"exit {proc.returncode}"
             failures.append(seed)
+        else:
+            record["ok"] = True
+        runs.append(record)
+
+    if args.json_out:
+        with open(args.json_out, "w") as f:
+            json.dump({"tool": "corruption_soak", "start": args.start,
+                       "seeds_run": args.seeds, "mix": mix or "built-in",
+                       "seeds_failed": failures, "runs": runs}, f, indent=2)
+            f.write("\n")
+        print(f"corruption_soak: wrote {args.json_out}")
 
     n = args.seeds
     if failures:

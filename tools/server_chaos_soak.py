@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Multi-tenant serving chaos soak: concurrent sessions with per-session faults.
+
+Usage:
+  server_chaos_soak.py BUILD_DIR [--seeds 5] [--start 1] [--sessions 16]
+                       [--workers 4] [--json-out FILE]
+
+For every seed the env-gated soak cell (ServingChaos.Soak in test_serving)
+stands up a PrimerServer and submits N concurrent tenant sessions, a seeded
+mix of clean, peer-killed, stalled and hostile-corrupted failure scripts.
+The cell itself asserts the serving runtime's isolation contract:
+
+  * unfaulted (and retryably-faulted) sessions complete bit-identical to
+    the plaintext reference — one tenant's faults never leak into another;
+  * hostile corruption resolves to a typed poisoned outcome + quarantine,
+    never a crash, hang, or cross-session failure;
+  * the server then drains cleanly within its deadline.
+
+Any other outcome (crash, hang, assertion) fails the soak.  Each run prints
+a "SERVERSOAK {json}" summary line; this driver aggregates them and, with
+--json-out, writes a machine-readable artifact for CI upload.
+
+Deterministic per seed; a failing seed reproduces with:
+  PRIMER_SERVER_SOAK=1 PRIMER_SERVER_SOAK_SEED=<seed> \
+      ./test_serving --gtest_filter='ServingChaos.Soak'
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+TEST_BINARY = "test_serving"
+TEST_FILTER = "ServingChaos.Soak"
+# Generous: each tenant session is a full (nano) private inference and the
+# box may be single-core; a genuinely hung server must still fail the job.
+PER_RUN_TIMEOUT_S = 600
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("build_dir")
+    ap.add_argument("--seeds", type=int, default=5)
+    ap.add_argument("--start", type=int, default=1)
+    ap.add_argument("--sessions", type=int, default=16)
+    ap.add_argument("--workers", type=int, default=4)
+    ap.add_argument("--json-out", default=None,
+                    help="write an aggregated JSON summary artifact here")
+    args = ap.parse_args()
+
+    binary = os.path.join(args.build_dir, TEST_BINARY)
+    if not os.path.exists(binary):
+        print(f"server_chaos_soak: {binary} not found (build it first)",
+              file=sys.stderr)
+        return 1
+
+    runs = []
+    failures = []
+    for seed in range(args.start, args.start + args.seeds):
+        env = dict(os.environ)
+        env["PRIMER_SERVER_SOAK"] = "1"
+        env["PRIMER_SERVER_SOAK_SEED"] = str(seed)
+        env["PRIMER_SERVER_SOAK_SESSIONS"] = str(args.sessions)
+        env["PRIMER_SERVER_SOAK_WORKERS"] = str(args.workers)
+        cmd = [binary, f"--gtest_filter={TEST_FILTER}"]
+        record = {"seed": seed, "ok": False}
+        try:
+            proc = subprocess.run(cmd, env=env, capture_output=True,
+                                  text=True, timeout=PER_RUN_TIMEOUT_S)
+        except subprocess.TimeoutExpired:
+            print(f"server_chaos_soak: seed {seed}: TIMEOUT "
+                  f"(>{PER_RUN_TIMEOUT_S}s)", file=sys.stderr)
+            record["error"] = "timeout"
+            failures.append(seed)
+            runs.append(record)
+            continue
+        summary = None
+        for line in proc.stdout.splitlines():
+            if line.startswith("SERVERSOAK "):
+                summary = json.loads(line[len("SERVERSOAK "):])
+        if proc.returncode != 0 or summary is None:
+            why = (f"exit {proc.returncode}" if proc.returncode != 0
+                   else "no SERVERSOAK summary line")
+            print(f"server_chaos_soak: seed {seed}: FAILED ({why})",
+                  file=sys.stderr)
+            sys.stderr.write(proc.stdout)
+            sys.stderr.write(proc.stderr)
+            record["error"] = why
+            failures.append(seed)
+        else:
+            record["ok"] = True
+            record.update(summary)
+            print(f"server_chaos_soak: seed {seed}: ok "
+                  f"(injected={summary.get('injected')} "
+                  f"completed={summary.get('completed')} "
+                  f"poisoned={summary.get('poisoned')} "
+                  f"p99={summary.get('p99_s')}s)")
+        runs.append(record)
+
+    aggregate = {
+        "tool": "server_chaos_soak",
+        "sessions_per_seed": args.sessions,
+        "workers": args.workers,
+        "seeds_run": args.seeds,
+        "seeds_failed": failures,
+        "total_injected": sum(r.get("injected", 0) for r in runs),
+        "total_completed": sum(r.get("completed", 0) for r in runs),
+        "total_poisoned": sum(r.get("poisoned", 0) for r in runs),
+        "runs": runs,
+    }
+    if args.json_out:
+        with open(args.json_out, "w") as f:
+            json.dump(aggregate, f, indent=2)
+            f.write("\n")
+        print(f"server_chaos_soak: wrote {args.json_out}")
+
+    if failures:
+        print(f"server_chaos_soak: {len(failures)}/{args.seeds} seeds "
+              f"failed: {failures}", file=sys.stderr)
+        return 1
+    print(f"server_chaos_soak: all {args.seeds} seeds passed "
+          f"({aggregate['total_injected']} faults injected, "
+          f"{aggregate['total_completed']} sessions bit-identical, "
+          f"{aggregate['total_poisoned']} poisoned+quarantined)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
