@@ -30,6 +30,7 @@
 #include "net/channel.h"
 #include "net/frame.h"
 #include "net/framed_channel.h"
+#include "net/session_fs.h"
 #include "ntt/kernels.h"
 #include "ntt/ntt.h"
 #include "ntt/primes.h"
@@ -481,16 +482,51 @@ void bench_framing(HeFixture& f, const char* label, const Options& opt) {
   const double session_ratio =
       run_e2e_s > 0.0 ? session_cost_s / run_e2e_s : 0.0;
 
+  // Durable-storage overhead: the same resilient run persisting every
+  // checkpoint through the crash-consistent store (serialize -> temp ->
+  // fsync -> rename -> dir fsync).  The micro-measured durable save
+  // replaces the bare serialization in the session cost — real fsyncs
+  // included — so the gate bounds the full price of surviving SIGKILL.
+  char dir_tmpl[] = "bench_durable_XXXXXX";
+  double durable_save_s = 0.0;
+  double durable_cost_s = 0.0;
+  double durable_ratio = 0.0;
+  SessionStore::Telemetry dtel{};
+  std::size_t durable_blob_bytes = 0;
+  if (mkdtemp(dir_tmpl) != nullptr) {
+    const std::string store_dir = dir_tmpl;
+    Rng weight_rng3(2025);
+    PrimerEngine durable_engine(
+        quantize(BertWeightsD::random(bert_nano(), weight_rng3)),
+        PrimerVariant::kFP, HeProfile::kProto2048);
+    DurableSessionStore dstore(store_dir);
+    const PrimerRunResult drun =
+        durable_engine.run_resilient({3, 17, 9, 28}, dstore);
+    const auto dcp = dstore.load(Party::kClient,
+                                 dstore.latest_epoch(Party::kClient));
+    durable_save_s = time_loop([&] { dstore.save(Party::kClient, *dcp); });
+    dtel = dstore.telemetry();
+    durable_blob_bytes = dstore.blob_bytes();
+    durable_cost_s =
+        2.0 * net.one_way_delay_s +
+        static_cast<double>(drun.handshake_bytes) / net.bandwidth_bytes_per_s +
+        2.0 * durable_save_s * static_cast<double>(drun.checkpoints);
+    durable_ratio = run_e2e_s > 0.0 ? durable_cost_s / run_e2e_s : 0.0;
+    std::system(("rm -rf " + store_dir).c_str());
+  }
+
   const double byte_ratio =
       static_cast<double>(FrameHeader::kWireSize) /
       static_cast<double>(payload.size() + FrameHeader::kWireSize);
   if (!opt.json_only) {
     std::printf(
         "%-24s %-10s payload=%zuB header=%zuB bytes+%.4f%%  "
-        "raw=%.9fs framed=%.9fs  e2e+%.4f%%  session+%.4f%%\n",
+        "raw=%.9fs framed=%.9fs  e2e+%.4f%%  session+%.4f%%  "
+        "durable+%.4f%%\n",
         "framing_overhead", label, payload.size(),
         static_cast<std::size_t>(FrameHeader::kWireSize), 100.0 * byte_ratio,
-        raw_s, framed_s, 100.0 * e2e_ratio, 100.0 * session_ratio);
+        raw_s, framed_s, 100.0 * e2e_ratio, 100.0 * session_ratio,
+        100.0 * durable_ratio);
   }
   std::printf(
       "JSON {\"bench\":\"framing_overhead\",\"label\":\"%s\",\"kernel\":\"%s\","
@@ -501,14 +537,21 @@ void bench_framing(HeFixture& f, const char* label, const Options& opt) {
       "\"framing_cost_s\":%.6f,\"e2e_overhead_ratio\":%.9f,"
       "\"session_checkpoints\":%u,\"session_handshake_bytes\":%llu,"
       "\"session_store_bytes\":%zu,\"session_checkpoint_serialize_s\":%.9f,"
-      "\"session_cost_s\":%.6f,\"session_e2e_overhead_ratio\":%.9f}\n",
+      "\"session_cost_s\":%.6f,\"session_e2e_overhead_ratio\":%.9f,"
+      "\"durable_save_s_per_checkpoint\":%.9f,"
+      "\"durable_bytes_written\":%llu,\"durable_fsyncs\":%llu,"
+      "\"durable_blob_bytes\":%zu,\"durable_cost_s\":%.6f,"
+      "\"session_durable_overhead_ratio\":%.9f}\n",
       label, f.ctx.kernel_name(), payload.size(),
       static_cast<std::size_t>(FrameHeader::kWireSize), byte_ratio, raw_s,
       framed_s, framed_s - raw_s,
       static_cast<unsigned long long>(run.total_bytes), run_e2e_s,
       framing_cost_s, e2e_ratio, rrun.checkpoints,
       static_cast<unsigned long long>(rrun.handshake_bytes),
-      store.blob_bytes(), cp_serialize_s, session_cost_s, session_ratio);
+      store.blob_bytes(), cp_serialize_s, session_cost_s, session_ratio,
+      durable_save_s, static_cast<unsigned long long>(dtel.bytes_written),
+      static_cast<unsigned long long>(dtel.fsyncs), durable_blob_bytes,
+      durable_cost_s, durable_ratio);
 }
 
 void run_suite(const Options& opt) {

@@ -87,6 +87,16 @@ inline std::uint64_t env_u64(const char* name, std::uint64_t fallback,
   return u;
 }
 
+// String knob (paths, mode selectors).  Unset / all-whitespace returns the
+// fallback; surrounding whitespace is trimmed like the numeric knobs.
+// Validation (allowed values, path existence) is the caller's job — only
+// the caller knows what the string means.
+inline std::string env_string(const char* name, const std::string& fallback) {
+  std::string raw;
+  if (!detail::env_raw(name, raw)) return fallback;
+  return raw;
+}
+
 // Signed integer knob.  Clamps to [lo, hi].
 inline long env_long(const char* name, long fallback, long lo, long hi) {
   std::string raw;

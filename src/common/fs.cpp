@@ -1,0 +1,151 @@
+#include "common/fs.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace primer {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& op, const std::string& path) {
+  const int e = errno;
+  throw FsError(op, path, e, std::strerror(e));
+}
+
+// RAII fd so every error path closes; close errors after a successful
+// fsync are ignored (the data already hit the platter).
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+void fsync_fd(int fd, const std::string& path, AtomicWriteStats* stats) {
+  if (::fsync(fd) != 0) fail("fsync", path);
+  if (stats != nullptr) ++stats->fsyncs;
+}
+
+}  // namespace
+
+bool path_exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+bool is_directory(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+void ensure_dir(const std::string& path) {
+  if (path.empty()) throw FsError("mkdir", path, EINVAL, "empty path");
+  // Walk the components, creating each missing prefix (mkdir -p).
+  for (std::size_t i = 1; i <= path.size(); ++i) {
+    if (i != path.size() && path[i] != '/') continue;
+    const std::string prefix = path.substr(0, i);
+    if (prefix.empty() || prefix == "/") continue;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      fail("mkdir", prefix);
+    }
+  }
+  if (!is_directory(path)) {
+    throw FsError("mkdir", path, ENOTDIR, "exists but is not a directory");
+  }
+}
+
+std::vector<std::string> list_dir(const std::string& path) {
+  DIR* d = ::opendir(path.c_str());
+  if (d == nullptr) fail("opendir", path);
+  std::vector<std::string> names;
+  for (;;) {
+    errno = 0;
+    const dirent* e = ::readdir(d);
+    if (e == nullptr) break;
+    const std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(name);
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::optional<std::vector<std::uint8_t>> read_file(const std::string& path) {
+  Fd f;
+  f.fd = ::open(path.c_str(), O_RDONLY);
+  if (f.fd < 0) return std::nullopt;
+  struct stat st;
+  if (::fstat(f.fd, &st) != 0 || !S_ISREG(st.st_mode)) return std::nullopt;
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(st.st_size));
+  std::size_t got = 0;
+  while (got < out.size()) {
+    const ssize_t n = ::read(f.fd, out.data() + got, out.size() - got);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return std::nullopt;
+    got += static_cast<std::size_t>(n);
+  }
+  return out;
+}
+
+void remove_file(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) fail("unlink", path);
+}
+
+void rename_path(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) fail("rename", from);
+}
+
+void atomic_write_file(const std::string& dir, const std::string& name,
+                       const std::uint8_t* data, std::size_t n,
+                       const AtomicWriteHooks& hooks, AtomicWriteStats* stats) {
+  const std::string final_path = dir + "/" + name;
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    Fd f;
+    f.fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (f.fd < 0) fail("open", tmp_path);
+    if (hooks.fail_write) {
+      errno = EIO;
+      fail("write", tmp_path);
+    }
+    const std::size_t to_write = std::min(n, hooks.truncate_at);
+    std::size_t put = 0;
+    while (put < to_write) {
+      const ssize_t w = ::write(f.fd, data + put, to_write - put);
+      if (w < 0 && errno == EINTR) continue;
+      if (w <= 0) fail("write", tmp_path);
+      put += static_cast<std::size_t>(w);
+    }
+    if (stats != nullptr) stats->bytes_written += put;
+    // The load-bearing fsync: without it, rename() can commit a name whose
+    // data blocks never reached disk — the torn blob the recovery scan
+    // exists to quarantine (hooks.truncate_at reproduces that state).
+    fsync_fd(f.fd, tmp_path, stats);
+  }
+  if (hooks.crash_before_rename) {
+    throw SimulatedCrash("before rename of " + tmp_path);
+  }
+  rename_path(tmp_path, final_path);
+  if (hooks.crash_after_rename) {
+    throw SimulatedCrash("after rename to " + final_path);
+  }
+  // Persist the directory entry itself, or the rename can be undone by
+  // power loss even though the file contents are safe.
+  {
+    Fd d;
+    d.fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (d.fd < 0) fail("open", dir);
+    fsync_fd(d.fd, dir, stats);
+  }
+}
+
+}  // namespace primer

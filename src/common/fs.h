@@ -1,0 +1,103 @@
+// Thin POSIX filesystem helpers with typed errors, plus the atomic
+// write-file protocol the durable session store builds on.
+//
+// The durability contract every caller relies on (net/session_fs.h):
+//
+//   write temp file -> fsync(temp) -> rename(temp, final) -> fsync(dir)
+//
+// rename() is the commit point: a reader either sees the complete old
+// state or the complete new file, never a half-written one — provided the
+// data was fsync'd *before* the rename (skipping that fsync is the classic
+// torn-write bug, which AtomicWriteHooks can reproduce on purpose) and the
+// directory entry is fsync'd *after* it (or the file can vanish again on
+// power loss).  Failures carry the errno so callers can distinguish a full
+// disk (ENOSPC) from a dying one (EIO) from a caller bug (ENOENT).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace primer {
+
+// A filesystem operation failed; op/path/errno preserved for typed
+// degradation decisions (net/frame.h StorageDegraded is built from this).
+class FsError : public std::runtime_error {
+ public:
+  FsError(const std::string& op, const std::string& path, int saved_errno,
+          const std::string& detail)
+      : std::runtime_error(op + " '" + path + "': " + detail + " (errno " +
+                           std::to_string(saved_errno) + ")"),
+        op_(op),
+        path_(path),
+        errno_(saved_errno) {}
+
+  const std::string& op() const { return op_; }
+  const std::string& path() const { return path_; }
+  int saved_errno() const { return errno_; }
+
+ private:
+  std::string op_;
+  std::string path_;
+  int errno_;
+};
+
+// Thrown by atomic_write_file when a crash hook fires: models the process
+// dying at that exact point in the protocol.  Tests catch it and re-open
+// the directory the way a freshly exec'd process would.  Deliberately NOT
+// an FsError — degradation handlers must not swallow a simulated crash.
+class SimulatedCrash : public std::runtime_error {
+ public:
+  explicit SimulatedCrash(const std::string& where)
+      : std::runtime_error("simulated crash: " + where) {}
+};
+
+bool path_exists(const std::string& path);
+bool is_directory(const std::string& path);
+
+// mkdir -p: creates every missing component; existing directories are fine.
+void ensure_dir(const std::string& path);
+
+// Entry names (not paths) in `path`, sorted, "." and ".." excluded.
+std::vector<std::string> list_dir(const std::string& path);
+
+// Whole-file read.  std::nullopt on ANY failure (missing, unreadable,
+// truncated mid-read) — the recovery scan treats every unreadable blob the
+// same way, as quarantine fodder, so the distinction is not load-bearing.
+std::optional<std::vector<std::uint8_t>> read_file(const std::string& path);
+
+void remove_file(const std::string& path);  // missing file is not an error
+void rename_path(const std::string& from, const std::string& to);
+
+// Fault hooks for atomic_write_file, wired to PRIMER_STORE_FAULT_* by the
+// durable store.  Defaults are all-off (a faithful write).
+struct AtomicWriteHooks {
+  // Silently write only the first `truncate_at` bytes but complete the
+  // protocol anyway: produces a committed-but-torn blob, the on-disk state
+  // of a store that renamed before fsyncing its data.
+  std::size_t truncate_at = std::numeric_limits<std::size_t>::max();
+  bool fail_write = false;           // report EIO from the data write
+  bool crash_before_rename = false;  // die after fsync(temp): no commit
+  bool crash_after_rename = false;   // die after rename: committed, dir not
+                                     // yet fsync'd
+};
+
+struct AtomicWriteStats {
+  std::uint64_t bytes_written = 0;
+  std::uint64_t fsyncs = 0;  // file + directory syncs
+};
+
+// The full temp -> fsync -> rename -> fsync-dir protocol for
+// `dir`/`name`.  Throws FsError on real failures (ENOSPC, EIO, ...),
+// SimulatedCrash when a crash hook fires.  `stats` (optional) accumulates
+// bytes/fsync telemetry.
+void atomic_write_file(const std::string& dir, const std::string& name,
+                       const std::uint8_t* data, std::size_t n,
+                       const AtomicWriteHooks& hooks = {},
+                       AtomicWriteStats* stats = nullptr);
+
+}  // namespace primer

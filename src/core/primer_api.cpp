@@ -68,6 +68,13 @@ InferenceResult PrivateInferenceSession::infer_resilient(
   return r;
 }
 
+InferenceResult PrivateInferenceSession::infer_durable(
+    const std::vector<std::size_t>& tokens, const std::string& store_dir,
+    int max_restarts) {
+  DurableSessionStore store(store_dir);
+  return infer_resilient(tokens, store, max_restarts);
+}
+
 SessionOutcome ServerHandle::infer_outcome(std::vector<std::size_t> tokens,
                                            std::size_t model) {
   InferenceRequest req;

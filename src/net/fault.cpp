@@ -1,5 +1,7 @@
 #include "net/fault.h"
 
+#include <stdexcept>
+
 #include "common/env.h"
 
 namespace primer {
@@ -15,6 +17,13 @@ FaultSpec FaultSpec::from_env() {
   s.delay = env_double("PRIMER_FAULT_DELAY", s.delay, 0.0, 1.0);
   s.delay_s = env_double("PRIMER_FAULT_DELAY_S", s.delay_s, 0.0, 3600.0);
   s.kill_after = env_u64("PRIMER_FAULT_KILL_AFTER", s.kill_after);
+  const std::string mode = env_string("PRIMER_FAULT_KILL_MODE", "throw");
+  if (mode == "sigkill") {
+    s.kill_mode = FaultKillMode::kSigkill;
+  } else if (mode != "throw") {
+    throw std::invalid_argument("PRIMER_FAULT_KILL_MODE=\"" + mode +
+                                "\": expected \"throw\" or \"sigkill\"");
+  }
   s.stall_after = env_u64("PRIMER_FAULT_STALL_AFTER", s.stall_after);
   s.stall_s = env_double("PRIMER_FAULT_STALL_S", s.stall_s, 0.0, 86400.0);
   s.stall_wall_s =

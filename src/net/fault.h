@@ -22,6 +22,12 @@
 //
 //   PRIMER_FAULT_KILL_AFTER   kill the sending process at the Nth wire
 //                             frame (1-based; 0 disables)
+//   PRIMER_FAULT_KILL_MODE    "throw" (default) surfaces the kill as a
+//                             retryable kPeerKilled inside the process;
+//                             "sigkill" raises SIGKILL instead — REAL
+//                             process death at a deterministic frame, for
+//                             crash-consistency tests against the durable
+//                             store (tools/crash_soak.py)
 //   PRIMER_FAULT_STALL_AFTER  stall delivery of the Nth wire frame
 //   PRIMER_FAULT_STALL_S      seconds the stall lasts (simulated time)
 //   PRIMER_FAULT_STALL_WALL_S real wall-clock seconds the stall also burns
@@ -45,6 +51,11 @@
 
 namespace primer {
 
+// How an injected kill manifests: an in-process retryable throw (the
+// simulation the retry loops recover from), or genuine SIGKILL (nothing
+// recovers; only fsync'd durable state survives into the next process).
+enum class FaultKillMode { kThrow, kSigkill };
+
 struct FaultSpec {
   std::uint64_t seed = 1;
   double drop = 0.0;
@@ -55,6 +66,7 @@ struct FaultSpec {
   double delay = 0.0;
   double delay_s = 0.01;
   std::uint64_t kill_after = 0;   // kill at the Nth wire frame (0 = off)
+  FaultKillMode kill_mode = FaultKillMode::kThrow;
   std::uint64_t stall_after = 0;  // stall the Nth wire frame (0 = off)
   double stall_s = 30.0;          // stall duration (simulated seconds)
   double stall_wall_s = 0.0;      // stall duration (real wall seconds)

@@ -87,6 +87,7 @@ enum class ProtocolErrorKind {
   kResumeRejected,    // resume handshake refused (session/params mismatch)
   kResumeDiverged,    // replayed frame does not match the journaled CRC
   kServerOverloaded,  // admission control shed the request (see serving/)
+  kStorageDegraded,   // durable store hit ENOSPC/EIO; running from memory
 };
 
 inline const char* protocol_error_kind_name(ProtocolErrorKind k) {
@@ -104,6 +105,7 @@ inline const char* protocol_error_kind_name(ProtocolErrorKind k) {
     case ProtocolErrorKind::kResumeRejected: return "resume_rejected";
     case ProtocolErrorKind::kResumeDiverged: return "resume_diverged";
     case ProtocolErrorKind::kServerOverloaded: return "server_overloaded";
+    case ProtocolErrorKind::kStorageDegraded: return "storage_degraded";
   }
   return "unknown";
 }
@@ -123,6 +125,7 @@ constexpr bool protocol_error_retryable(ProtocolErrorKind k) {
     case ProtocolErrorKind::kPeerKilled:
     case ProtocolErrorKind::kDeadlineExceeded:
     case ProtocolErrorKind::kServerOverloaded:
+    case ProtocolErrorKind::kStorageDegraded:
       return true;
     case ProtocolErrorKind::kBadMagic:
     case ProtocolErrorKind::kBadVersion:
@@ -174,6 +177,33 @@ class DeadlineExceeded : public ProtocolError {
   std::string phase_;
   double elapsed_s_;
   double budget_s_;
+};
+
+// The durable checkpoint store lost its backing filesystem (ENOSPC, EIO,
+// a vanished directory).  Retryable by design: the store falls back to
+// in-memory operation and the session keeps running — this error is how
+// the degradation is *reported* (store telemetry, serving stats), never a
+// reason to abort an inference that can finish without disk.
+class StorageDegraded : public ProtocolError {
+ public:
+  StorageDegraded(const std::string& op, const std::string& path,
+                  int saved_errno, const std::string& detail)
+      : ProtocolError(ProtocolErrorKind::kStorageDegraded,
+                      op + " '" + path + "' failed (errno " +
+                          std::to_string(saved_errno) + "): " + detail +
+                          " — continuing from memory"),
+        op_(op),
+        path_(path),
+        errno_(saved_errno) {}
+
+  const std::string& op() const { return op_; }
+  const std::string& path() const { return path_; }
+  int saved_errno() const { return errno_; }
+
+ private:
+  std::string op_;
+  std::string path_;
+  int errno_;
 };
 
 struct FrameHeader {

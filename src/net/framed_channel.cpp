@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <limits>
 #include <stdexcept>
@@ -71,6 +72,13 @@ void FramedChannel::transmit(Party from, DirState& dir,
     }
   }
   if (ev.kill) {
+    if (injector_.spec().kill_mode == FaultKillMode::kSigkill) {
+      // Real process death, not a simulation: SIGKILL cannot be caught, so
+      // nothing below this point — destructors, retry loops, the in-memory
+      // store — gets a chance to run.  Only what the durable store already
+      // fsync'd survives.  Deterministic because the wire-frame counter is.
+      std::raise(SIGKILL);
+    }
     throw ProtocolError(
         ProtocolErrorKind::kPeerKilled,
         describe(other(from)) + ": " + std::string(party_name(from)) +
@@ -103,24 +111,30 @@ void FramedChannel::send(Party from, MessageKind kind,
   std::vector<std::uint8_t> frame = encode_frame(kind, seq, payload, n);
   std::uint32_t crc = 0;
   std::memcpy(&crc, frame.data() + FrameHeader::kCrcOffset, 4);
-  if (journal_on_) journal_[fi].push_back(crc);
+  if (journal_on_ && seq >= journal_base_[fi]) journal_[fi].push_back(crc);
   ++stats_.frames_sent;
   stats_.framing_bytes += FrameHeader::kWireSize;
 
   // Checkpoint-covered prefix: the peer already holds this frame from a
   // previous attempt.  Verify determinism against the journaled CRC and
-  // deliver locally — no wire charge, no fault injection.
+  // deliver locally — no wire charge, no fault injection.  Below the
+  // checkpoint's journal base the CRCs were pruned (proven by the attempt
+  // that took the checkpoint), so only determinism above the base is
+  // re-checked.
   if (seq < plan_.virtual_until[fi]) {
-    const std::uint32_t expect = plan_.expect_crc[fi][seq];
-    if (crc != expect) {
-      char buf[64];
-      std::snprintf(buf, sizeof buf, "CRC %08x, journal says %08x", crc,
-                    expect);
-      throw ProtocolError(
-          ProtocolErrorKind::kResumeDiverged,
-          describe(other(from)) + ": replayed " + message_kind_name(kind) +
-              " frame seq " + std::to_string(seq) + " re-encoded with " +
-              buf + " — deterministic replay diverged");
+    if (seq >= plan_.journal_base[fi]) {
+      const std::uint32_t expect =
+          plan_.expect_crc[fi][seq - plan_.journal_base[fi]];
+      if (crc != expect) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "CRC %08x, journal says %08x", crc,
+                      expect);
+        throw ProtocolError(
+            ProtocolErrorKind::kResumeDiverged,
+            describe(other(from)) + ": replayed " + message_kind_name(kind) +
+                " frame seq " + std::to_string(seq) + " re-encoded with " +
+                buf + " — deterministic replay diverged");
+      }
     }
     ++stats_.replayed_frames;
     stats_.replayed_bytes += frame.size();
@@ -164,6 +178,9 @@ void FramedChannel::begin_session(std::uint64_t session_id,
   for (int d = 0; d < 2; ++d) {
     dir_[d] = DirState{};
     journal_[d].clear();
+    // Prune point for this attempt's journal: everything the replay plan
+    // covers virtually is verified on the fly and never re-journaled.
+    journal_base_[d] = plan.virtual_until[d];
     for (std::size_t k = 0; k < kMessageKindCount; ++k) {
       kind_counts_[d][k] = 0;
     }

@@ -72,9 +72,14 @@ class FramedChannel {
   // Frames below `virtual_until[dir]` were covered by the checkpoint the
   // resume handshake agreed on: the peer already holds them, so send()
   // verifies the re-encoded frame against `expect_crc` and delivers it
-  // locally without charging the wire.
+  // locally without charging the wire.  The checkpoint's journal is pruned
+  // below `journal_base[dir]` (those frames were CRC-proven by the attempt
+  // that took the checkpoint), so `expect_crc[dir][i]` covers sequence
+  // number `journal_base[dir] + i` and replays below the base skip the
+  // CRC comparison.
   struct ReplayPlan {
     std::uint64_t virtual_until[2] = {0, 0};
+    std::uint64_t journal_base[2] = {0, 0};
     std::vector<std::uint32_t> expect_crc[2];
   };
 
@@ -94,9 +99,15 @@ class FramedChannel {
     return dir_[static_cast<int>(from)].next_send_seq;
   }
   // Per-frame CRC32C journal for the given direction (empty until
-  // begin_session enables journaling).
+  // begin_session enables journaling).  Entry i covers sequence number
+  // journal_base(from) + i: the checkpoint-covered prefix this attempt
+  // replayed virtually is not re-journaled.
   const std::vector<std::uint32_t>& journal(Party from) const {
     return journal_[static_cast<int>(from)];
+  }
+  // First sequence number the journal covers in the given direction.
+  std::uint64_t journal_base(Party from) const {
+    return journal_base_[static_cast<int>(from)];
   }
   // Frames of `kind` delivered to `to` so far (checkpoint inventory).
   std::uint64_t kind_count(Party to, MessageKind kind) const {
@@ -178,6 +189,7 @@ class FramedChannel {
   std::uint32_t epoch_ = 0;
   bool journal_on_ = false;
   std::vector<std::uint32_t> journal_[2];  // indexed by sending party
+  std::uint64_t journal_base_[2] = {0, 0};
   ReplayPlan plan_;
   std::uint64_t kind_counts_[2][kMessageKindCount] = {};  // [receiver][kind]
   const SimDeadline* deadline_ = nullptr;

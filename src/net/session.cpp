@@ -10,7 +10,9 @@ namespace primer {
 namespace {
 
 constexpr std::uint32_t kCheckpointMagic = 0x504b4353u;  // "SCKP"
-constexpr std::uint32_t kCheckpointVersion = 1;
+// v2 added journal_base: the CRC journal is pruned below the watermark the
+// attempt resumed from (see SessionCheckpoint in session.h).
+constexpr std::uint32_t kCheckpointVersion = 2;
 constexpr std::size_t kMaxPhaseLen = 128;
 // Journal bound: 2^24 frames per direction is far beyond any real run and
 // caps a hostile count field at 64 MiB before the byte-budget check hits.
@@ -33,6 +35,7 @@ void SessionCheckpoint::serialize(ByteWriter& w) const {
   w.u64(params_hash);
   for (int d = 0; d < 2; ++d) {
     w.u64(send_watermark[d]);
+    w.u64(journal_base[d]);
     w.u32(static_cast<std::uint32_t>(frame_crc[d].size()));
     for (std::uint32_t crc : frame_crc[d]) w.u32(crc);
   }
@@ -66,11 +69,19 @@ SessionCheckpoint SessionCheckpoint::deserialize(ByteReader& r) {
     cp.params_hash = r.u64();
     for (int d = 0; d < 2; ++d) {
       cp.send_watermark[d] = r.u64();
-      const std::uint32_t n = r.u32();
-      if (n != cp.send_watermark[d] || n > kMaxJournalLen) {
-        malformed(where, "journal of " + std::to_string(n) +
-                             " CRCs does not match watermark " +
+      cp.journal_base[d] = r.u64();
+      if (cp.journal_base[d] > cp.send_watermark[d]) {
+        malformed(where, "journal base " + std::to_string(cp.journal_base[d]) +
+                             " exceeds watermark " +
                              std::to_string(cp.send_watermark[d]));
+      }
+      const std::uint32_t n = r.u32();
+      if (n != cp.send_watermark[d] - cp.journal_base[d] ||
+          n > kMaxJournalLen) {
+        malformed(where, "journal of " + std::to_string(n) +
+                             " CRCs does not span [" +
+                             std::to_string(cp.journal_base[d]) + ", " +
+                             std::to_string(cp.send_watermark[d]) + ")");
       }
       cp.frame_crc[d].resize(n);
       for (std::uint32_t i = 0; i < n; ++i) cp.frame_crc[d][i] = r.u32();

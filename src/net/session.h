@@ -134,9 +134,15 @@ struct SessionCheckpoint {
   std::string phase;             // boundary label, e.g. "key_transfer"
   std::uint64_t params_hash = 0; // negotiated-parameter fingerprint
   // Frames 0..watermark-1 in each direction are covered (indexed by the
-  // sending party) together with their CRC32C journal.
+  // sending party).  The CRC32C journal is *pruned* below journal_base:
+  // frames in [0, journal_base) were already CRC-verified during the
+  // virtual replay of the epoch this attempt resumed from, so only
+  // [journal_base, watermark) carries per-frame CRCs — long sessions do
+  // not balloon their checkpoint blobs with journal entries every resumed
+  // attempt has already proven.
   std::uint64_t send_watermark[2] = {0, 0};
-  std::vector<std::uint32_t> frame_crc[2];
+  std::uint64_t journal_base[2] = {0, 0};
+  std::vector<std::uint32_t> frame_crc[2];  // frame_crc[d][i] = seq base+i
   // Received-frame inventory per kind, indexed by the receiving party —
   // how many ciphertext batches, key-material frames, GC table chunks etc.
   // each side holds at this boundary.
@@ -151,24 +157,51 @@ struct SessionCheckpoint {
   std::uint32_t digest() const;
 };
 
-// Durable per-party checkpoint history.  In-process stand-in for each
-// party's local disk: parties only ever read their *own* slots, and the
-// chaos tests simulate partial disk loss by dropping individual epochs.
+// Per-party checkpoint history.  The base class is an in-memory store —
+// each party's "local disk" for single-process tests, where the chaos
+// harness simulates partial disk loss by dropping individual epochs.  The
+// methods are virtual so DurableSessionStore (net/session_fs.h) can back
+// the same interface with real crash-consistent files; everything above
+// this seam (runtime, serving, engine) only ever sees SessionStore&.
 class SessionStore {
  public:
-  void save(Party p, const SessionCheckpoint& cp);
-  std::optional<SessionCheckpoint> load(Party p, std::uint32_t epoch) const;
-  std::uint32_t latest_epoch(Party p) const;  // 0 = no checkpoints
+  virtual ~SessionStore() = default;
+
+  virtual void save(Party p, const SessionCheckpoint& cp);
+  virtual std::optional<SessionCheckpoint> load(Party p,
+                                                std::uint32_t epoch) const;
+  virtual std::uint32_t latest_epoch(Party p) const;  // 0 = no checkpoints
   // (epoch, digest) pairs, ascending — the hello message's inventory.
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> digests(Party p) const;
+  virtual std::vector<std::pair<std::uint32_t, std::uint32_t>> digests(
+      Party p) const;
 
-  void drop(Party p, std::uint32_t epoch);  // simulate losing one snapshot
-  void clear();
-  std::size_t blob_bytes() const;  // total persisted bytes (telemetry)
+  virtual void drop(Party p, std::uint32_t epoch);  // simulate losing one
+  virtual void clear();
+  virtual std::size_t blob_bytes() const;  // total persisted bytes
   // Test hook: corrupt a stored blob in place (digest no longer matches).
-  void tamper(Party p, std::uint32_t epoch);
+  virtual void tamper(Party p, std::uint32_t epoch);
 
- private:
+  // Storage-layer telemetry.  The in-memory store reports zeros except for
+  // journal/blob growth; the durable store fills in the filesystem story.
+  struct Telemetry {
+    std::uint64_t bytes_written = 0;     // payload bytes persisted to disk
+    std::uint64_t fsyncs = 0;            // file + directory fsync calls
+    std::uint64_t degradations = 0;      // persists that fell back to memory
+    std::uint64_t recovered_blobs = 0;   // valid blobs adopted by the scan
+    std::uint64_t quarantined_blobs = 0; // torn/corrupt blobs quarantined
+    bool degraded = false;               // currently running from memory
+  };
+  virtual Telemetry telemetry() const { return {}; }
+  // Most recent degradation, as the typed retryable error the taxonomy
+  // assigns it (std::nullopt while the store is healthy).
+  virtual std::optional<StorageDegraded> last_degradation() const {
+    return std::nullopt;
+  }
+
+ protected:
+  // Serialized checkpoint blobs by epoch, indexed by party.  Derived
+  // stores use this map as their in-memory source of truth and overlay
+  // persistence around it.
   std::map<std::uint32_t, std::vector<std::uint8_t>> slots_[2];
 };
 

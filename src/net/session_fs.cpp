@@ -1,0 +1,304 @@
+#include "net/session_fs.h"
+
+#include <cstdio>
+
+#include "common/env.h"
+#include "common/serialize.h"
+#include "net/crc32c.h"
+
+namespace primer {
+
+namespace {
+
+constexpr std::uint32_t kBlobMagic = 0x52554450u;  // "PDUR"
+constexpr std::uint32_t kBlobVersion = 1;
+// magic + version + party + epoch + payload_len + payload_crc
+constexpr std::size_t kBlobHeaderBytes = 4 + 4 + 4 + 4 + 8 + 4;
+
+const char* party_prefix(Party p) {
+  return p == Party::kClient ? "client" : "server";
+}
+
+// Parses "<party>_<6 digits>.ckpt"; false on anything else.
+bool parse_blob_name(const std::string& name, Party* p, std::uint32_t* epoch) {
+  const std::string suffix = ".ckpt";
+  for (const Party cand : {Party::kClient, Party::kServer}) {
+    const std::string prefix = std::string(party_prefix(cand)) + "_";
+    if (name.size() != prefix.size() + 6 + suffix.size()) continue;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+      continue;
+    }
+    std::uint32_t e = 0;
+    for (std::size_t i = 0; i < 6; ++i) {
+      const char c = name[prefix.size() + i];
+      if (c < '0' || c > '9') return false;
+      e = e * 10 + static_cast<std::uint32_t>(c - '0');
+    }
+    *p = cand;
+    *epoch = e;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+StoreFaultSpec StoreFaultSpec::from_env() {
+  StoreFaultSpec s;
+  s.at = env_u64("PRIMER_STORE_FAULT_AT", 0);
+  s.torn_byte = env_u64("PRIMER_STORE_FAULT_TORN_BYTE", s.torn_byte);
+  const std::string mode = env_string("PRIMER_STORE_FAULT_MODE", "");
+  if (mode.empty() || mode == "none") {
+    s.mode = Mode::kNone;
+  } else if (mode == "fail") {
+    s.mode = Mode::kFail;
+  } else if (mode == "short_write") {
+    s.mode = Mode::kShortWrite;
+  } else if (mode == "crash_before_rename") {
+    s.mode = Mode::kCrashBeforeRename;
+  } else if (mode == "crash_after_rename") {
+    s.mode = Mode::kCrashAfterRename;
+  } else {
+    throw std::invalid_argument(
+        "PRIMER_STORE_FAULT_MODE=\"" + mode +
+        "\": expected fail | short_write | crash_before_rename | "
+        "crash_after_rename");
+  }
+  return s;
+}
+
+DurableSessionStore::Options DurableSessionStore::Options::from_env() {
+  Options o;
+  o.keep_last = static_cast<std::size_t>(
+      env_u64("PRIMER_STORE_KEEP", o.keep_last, 0, 1u << 20));
+  o.max_bytes = env_u64("PRIMER_STORE_MAX_BYTES", o.max_bytes);
+  o.faults = StoreFaultSpec::from_env();
+  return o;
+}
+
+DurableSessionStore::DurableSessionStore(std::string dir, Options opts)
+    : dir_(std::move(dir)), opts_(opts) {
+  ensure_dir(dir_);
+  recovery_scan();
+}
+
+std::string DurableSessionStore::blob_name(Party p, std::uint32_t epoch) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%s_%06u.ckpt", party_prefix(p), epoch);
+  return buf;
+}
+
+std::optional<std::vector<std::uint8_t>> DurableSessionStore::validate_blob(
+    const std::vector<std::uint8_t>& blob, Party expect_party,
+    std::uint32_t expect_epoch) {
+  try {
+    if (blob.size() < kBlobHeaderBytes) return std::nullopt;
+    ByteReader r(blob);
+    if (r.u32() != kBlobMagic) return std::nullopt;
+    if (r.u32() != kBlobVersion) return std::nullopt;
+    const std::uint32_t party = r.u32();
+    const std::uint32_t epoch = r.u32();
+    const std::uint64_t len = r.u64();
+    const std::uint32_t crc = r.u32();
+    if (party != static_cast<std::uint32_t>(expect_party)) return std::nullopt;
+    if (epoch != expect_epoch) return std::nullopt;
+    if (len != r.remaining()) return std::nullopt;  // torn or padded blob
+    std::vector<std::uint8_t> payload(blob.begin() + r.position(), blob.end());
+    // The payload CRC doubles as the checkpoint digest the resume
+    // handshake exchanges; a blob that passes here negotiates cleanly.
+    if (crc32c(payload.data(), payload.size()) != crc) return std::nullopt;
+    ByteReader pr(payload);
+    const SessionCheckpoint cp = SessionCheckpoint::deserialize(pr);
+    if (!pr.done()) return std::nullopt;
+    if (cp.epoch != expect_epoch) return std::nullopt;
+    return payload;
+  } catch (const std::exception&) {
+    // Structural rejection (ProtocolError) or short read (out_of_range):
+    // either way the blob is quarantine fodder, never a crash.
+    return std::nullopt;
+  }
+}
+
+void DurableSessionStore::quarantine_blob(const std::string& name) {
+  const std::string path = dir_ + "/" + name;
+  try {
+    ensure_dir(dir_ + "/quarantine");
+    rename_path(path, dir_ + "/quarantine/" + name);
+  } catch (const FsError&) {
+    // Quarantine dir unavailable: drop the corrupt blob rather than let
+    // the next scan trip over it again.
+    remove_file(path);
+  }
+  quarantined_.push_back(name);
+}
+
+void DurableSessionStore::recovery_scan() {
+  for (const std::string& name : list_dir(dir_)) {
+    const std::string path = dir_ + "/" + name;
+    if (is_directory(path)) continue;  // quarantine/ and friends
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      // An in-flight write that never committed; its epoch either exists
+      // as a previous complete blob or was legitimately lost mid-crash.
+      remove_file(path);
+      continue;
+    }
+    Party p{};
+    std::uint32_t epoch = 0;
+    if (!parse_blob_name(name, &p, &epoch)) {
+      quarantine_blob(name);
+      continue;
+    }
+    const auto data = read_file(path);
+    if (!data.has_value()) {
+      quarantine_blob(name);
+      continue;
+    }
+    auto payload = validate_blob(*data, p, epoch);
+    if (!payload.has_value()) {
+      quarantine_blob(name);
+      continue;
+    }
+    slots_[static_cast<int>(p)][epoch] = std::move(*payload);
+    ++recovered_;
+  }
+}
+
+bool DurableSessionStore::persist(Party p, std::uint32_t epoch,
+                                  const std::vector<std::uint8_t>& payload) {
+  const std::uint64_t op = ++persist_ops_;
+  AtomicWriteHooks hooks;
+  if (opts_.faults.armed() && op == opts_.faults.at) {
+    switch (opts_.faults.mode) {
+      case StoreFaultSpec::Mode::kNone: break;
+      case StoreFaultSpec::Mode::kFail: hooks.fail_write = true; break;
+      case StoreFaultSpec::Mode::kShortWrite:
+        hooks.truncate_at = static_cast<std::size_t>(opts_.faults.torn_byte);
+        break;
+      case StoreFaultSpec::Mode::kCrashBeforeRename:
+        hooks.crash_before_rename = true;
+        break;
+      case StoreFaultSpec::Mode::kCrashAfterRename:
+        hooks.crash_after_rename = true;
+        break;
+    }
+  }
+  ByteWriter w;
+  w.reserve(kBlobHeaderBytes + payload.size());
+  w.u32(kBlobMagic);
+  w.u32(kBlobVersion);
+  w.u32(static_cast<std::uint32_t>(p));
+  w.u32(epoch);
+  w.u64(payload.size());
+  w.u32(crc32c(payload.data(), payload.size()));
+  w.bytes(payload.data(), payload.size());
+  const std::string name = blob_name(p, epoch);
+  try {
+    atomic_write_file(dir_, name, w.data().data(), w.size(), hooks,
+                      &write_stats_);
+  } catch (const FsError& e) {
+    // ENOSPC/EIO/vanished dir: latch degraded mode and keep serving from
+    // memory.  The typed retryable error is *reported*, never thrown from
+    // a save — losing the durability upgrade must not lose the inference.
+    ++degradations_;
+    degraded_ = true;
+    last_degradation_ =
+        StorageDegraded(e.op(), e.path(), e.saved_errno(), e.what());
+    return false;
+  }
+  // SimulatedCrash deliberately propagates: the "process" died here.
+  degraded_ = false;
+  return true;
+}
+
+void DurableSessionStore::save(Party p, const SessionCheckpoint& cp) {
+  ByteWriter w;
+  cp.serialize(w);
+  std::vector<std::uint8_t> payload = w.take();
+  persist(p, cp.epoch, payload);
+  slots_[static_cast<int>(p)][cp.epoch] = std::move(payload);
+  apply_retention();
+}
+
+void DurableSessionStore::remove_blob(Party p, std::uint32_t epoch) {
+  try {
+    remove_file(dir_ + "/" + blob_name(p, epoch));
+  } catch (const FsError&) {
+    // Best effort: a blob we cannot delete will be re-adopted (harmless)
+    // or quarantined by a later scan.
+  }
+}
+
+void DurableSessionStore::apply_retention() {
+  // Keep-last-K per party: the newest epochs are the resumable ones.
+  if (opts_.keep_last != 0) {
+    for (int d = 0; d < 2; ++d) {
+      auto& slots = slots_[d];
+      while (slots.size() > opts_.keep_last) {
+        const std::uint32_t epoch = slots.begin()->first;
+        slots.erase(slots.begin());
+        remove_blob(static_cast<Party>(d), epoch);
+      }
+    }
+  }
+  // Total byte cap: shed globally-oldest epochs, but never a party's
+  // latest — losing the newest checkpoint would forfeit resumability.
+  while (opts_.max_bytes != 0 && blob_bytes() > opts_.max_bytes) {
+    int victim_dir = -1;
+    std::uint32_t victim_epoch = 0;
+    for (int d = 0; d < 2; ++d) {
+      if (slots_[d].size() < 2) continue;  // latest epoch is untouchable
+      const std::uint32_t oldest = slots_[d].begin()->first;
+      if (victim_dir < 0 || oldest < victim_epoch) {
+        victim_dir = d;
+        victim_epoch = oldest;
+      }
+    }
+    if (victim_dir < 0) break;
+    slots_[victim_dir].erase(victim_epoch);
+    remove_blob(static_cast<Party>(victim_dir), victim_epoch);
+  }
+}
+
+void DurableSessionStore::drop(Party p, std::uint32_t epoch) {
+  SessionStore::drop(p, epoch);
+  remove_blob(p, epoch);
+}
+
+void DurableSessionStore::clear() {
+  for (int d = 0; d < 2; ++d) {
+    for (const auto& [epoch, blob] : slots_[d]) {
+      remove_blob(static_cast<Party>(d), epoch);
+    }
+  }
+  SessionStore::clear();
+}
+
+void DurableSessionStore::tamper(Party p, std::uint32_t epoch) {
+  SessionStore::tamper(p, epoch);
+  // Mirror the in-memory corruption on disk, bypassing the CRC reseal:
+  // the next recovery scan must detect and quarantine this blob.
+  const std::string path = dir_ + "/" + blob_name(p, epoch);
+  auto data = read_file(path);
+  if (!data.has_value() || data->empty()) return;
+  data->back() ^= 0xff;
+  try {
+    atomic_write_file(dir_, blob_name(p, epoch), data->data(), data->size());
+  } catch (const FsError&) {
+    // Tamper is a test hook; if the rewrite fails the RAM copy is still
+    // tampered, which is what the caller asserts on.
+  }
+}
+
+SessionStore::Telemetry DurableSessionStore::telemetry() const {
+  Telemetry t;
+  t.bytes_written = write_stats_.bytes_written;
+  t.fsyncs = write_stats_.fsyncs;
+  t.degradations = degradations_;
+  t.recovered_blobs = recovered_;
+  t.quarantined_blobs = quarantined_.size();
+  t.degraded = degraded_;
+  return t;
+}
+
+}  // namespace primer

@@ -1,0 +1,140 @@
+// DurableSessionStore: the SessionStore interface backed by real
+// crash-consistent files, so checkpoints — and the cached multi-MB key
+// material they amortize — survive genuine process death (SIGKILL,
+// OOM-kill, host restart), not just the in-process throw the chaos
+// harness simulates.
+//
+// On-disk layout (one directory per store):
+//
+//   <dir>/client_000003.ckpt     per-party, per-epoch checkpoint blob
+//   <dir>/server_000003.ckpt
+//   <dir>/*.ckpt.tmp             in-flight writes (cleaned by the scan)
+//   <dir>/quarantine/            torn/corrupt blobs moved aside, kept for
+//                                post-mortem instead of deleted
+//
+// Each blob is a small header (magic, version, party, epoch, payload
+// length, CRC32C of the payload) followed by the serialized
+// SessionCheckpoint.  The payload CRC *is* the checkpoint digest the
+// resume handshake exchanges, so a blob that passes the scan will also
+// survive digest negotiation.
+//
+// Durability protocol: every save goes through common/fs.h
+// atomic_write_file (temp -> fsync -> rename -> fsync-dir), so a crash at
+// any instant leaves either the previous blob or the new one — never a
+// hybrid.  The constructor runs a recovery scan: temp files are deleted,
+// blobs that fail any validation step are moved to quarantine/, valid
+// blobs populate the in-memory map the base class serves reads from.
+//
+// Degradation: a failed persist (ENOSPC, EIO, vanished directory) never
+// aborts the session.  The store latches into degraded mode — saves keep
+// landing in memory, every later save retries the disk — and reports the
+// failure as the retryable StorageDegraded from the ProtocolError
+// taxonomy via last_degradation(), with counts in telemetry().  Losing
+// the *durability upgrade* must not lose the inference that was running.
+//
+// Seeded fault injection (all off by default):
+//
+//   PRIMER_STORE_FAULT_AT         1-based persist-op index to fault (0=off)
+//   PRIMER_STORE_FAULT_MODE       fail | short_write | crash_before_rename
+//                                 | crash_after_rename
+//   PRIMER_STORE_FAULT_TORN_BYTE  short_write truncation offset (bytes)
+//
+// "fail" exercises the degradation path; "short_write" commits a torn
+// blob the next scan must quarantine; the crash modes throw
+// SimulatedCrash at the exact protocol point, so tests can re-open the
+// directory the way a freshly exec'd process would.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/fs.h"
+#include "net/session.h"
+
+namespace primer {
+
+struct StoreFaultSpec {
+  enum class Mode {
+    kNone,
+    kFail,              // persist reports EIO -> degradation path
+    kShortWrite,        // commit a torn blob (truncated at torn_byte)
+    kCrashBeforeRename, // die after fsync(temp): epoch never committed
+    kCrashAfterRename,  // die after rename: epoch committed, dir unsynced
+  };
+
+  std::uint64_t at = 0;  // 1-based persist-op index (0 disables)
+  Mode mode = Mode::kNone;
+  std::uint64_t torn_byte = 32;  // where short_write cuts the blob
+
+  bool armed() const { return at != 0 && mode != Mode::kNone; }
+
+  // PRIMER_STORE_FAULT_AT / _MODE / _TORN_BYTE; malformed values throw.
+  static StoreFaultSpec from_env();
+};
+
+class DurableSessionStore : public SessionStore {
+ public:
+  struct Options {
+    std::size_t keep_last = 4;    // newest epochs kept per party (0 = all)
+    std::uint64_t max_bytes = 0;  // total on-disk byte cap (0 = unlimited)
+    StoreFaultSpec faults;
+
+    // PRIMER_STORE_KEEP / PRIMER_STORE_MAX_BYTES plus the fault knobs.
+    static Options from_env();
+  };
+
+  // Creates the directory if needed and runs the recovery scan.  Throws
+  // FsError only if the directory itself cannot be created/listed — an
+  // unusable root is a configuration error, not a degradation.
+  explicit DurableSessionStore(std::string dir,
+                               Options opts = Options::from_env());
+
+  void save(Party p, const SessionCheckpoint& cp) override;
+  void drop(Party p, std::uint32_t epoch) override;
+  void clear() override;
+  void tamper(Party p, std::uint32_t epoch) override;
+
+  Telemetry telemetry() const override;
+  std::optional<StorageDegraded> last_degradation() const override {
+    return last_degradation_;
+  }
+
+  const std::string& dir() const { return dir_; }
+  // Quarantined blob filenames from this store's recovery scan.
+  const std::vector<std::string>& quarantined() const { return quarantined_; }
+
+  // Blob filename for a party/epoch pair, e.g. "client_000007.ckpt".
+  static std::string blob_name(Party p, std::uint32_t epoch);
+
+  // Validates one raw blob: header, payload CRC, checkpoint structure,
+  // party/epoch consistency.  Returns the checkpoint payload on success,
+  // std::nullopt on any defect.  Exposed so the fuzz-smoke suite can feed
+  // it hostile bytes directly.
+  static std::optional<std::vector<std::uint8_t>> validate_blob(
+      const std::vector<std::uint8_t>& blob, Party expect_party,
+      std::uint32_t expect_epoch);
+
+ private:
+  void recovery_scan();
+  void quarantine_blob(const std::string& name);
+  // Writes one party/epoch payload to disk; returns false on degradation
+  // (recorded), true on success.  SimulatedCrash propagates.
+  bool persist(Party p, std::uint32_t epoch,
+               const std::vector<std::uint8_t>& payload);
+  void apply_retention();
+  void remove_blob(Party p, std::uint32_t epoch);
+
+  std::string dir_;
+  Options opts_;
+  std::uint64_t persist_ops_ = 0;  // 1-based op counter the injector keys on
+  AtomicWriteStats write_stats_;
+  std::uint64_t degradations_ = 0;
+  bool degraded_ = false;
+  std::optional<StorageDegraded> last_degradation_;
+  std::uint64_t recovered_ = 0;
+  std::vector<std::string> quarantined_;
+};
+
+}  // namespace primer

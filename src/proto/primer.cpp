@@ -74,6 +74,14 @@ void summarize_costs(PrimerRunResult& result, const ProtocolContext& pc) {
   result.resumed_epoch = pc.resumed_epoch();
   result.checkpoints = pc.checkpoints_taken();
   result.handshake_bytes = pc.handshake_bytes();
+  if (pc.session.store != nullptr) {
+    const SessionStore::Telemetry st = pc.session.store->telemetry();
+    result.store_bytes_written = st.bytes_written;
+    result.store_fsyncs = st.fsyncs;
+    result.store_degradations = st.degradations;
+    result.store_degraded = st.degraded;
+    result.checkpoint_blob_bytes = pc.session.store->blob_bytes();
+  }
   PhaseCost grand = off_total;
   grand += on_total;
   result.min_noise_margin_bits = grand.min_noise_margin_bits;

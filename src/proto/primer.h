@@ -71,6 +71,15 @@ struct PrimerRunResult {
   std::uint32_t checkpoints = 0;
   std::uint64_t frames_sent = 0;
   std::uint64_t prior_attempt_bytes = 0;
+  // Durable-storage telemetry from the attached SessionStore (all zero for
+  // in-memory stores or storeless runs): checkpoint bytes fsync'd to disk,
+  // fsync count, persists that degraded to memory-only (ENOSPC/EIO), whether
+  // the store ended the run degraded, and total checkpoint blob bytes held.
+  std::uint64_t store_bytes_written = 0;
+  std::uint64_t store_fsyncs = 0;
+  std::uint64_t store_degradations = 0;
+  bool store_degraded = false;
+  std::uint64_t checkpoint_blob_bytes = 0;
   CostAccumulator costs;  // per step breakdown (Table II columns)
 
   double gc_garble_gates_per_s() const {

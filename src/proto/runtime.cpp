@@ -140,6 +140,7 @@ void ProtocolContext::start_session() {
     }
     for (int d = 0; d < 2; ++d) {
       plan.virtual_until[d] = cp->send_watermark[d];
+      plan.journal_base[d] = cp->journal_base[d];
       plan.expect_crc[d] = cp->frame_crc[d];
     }
   }
@@ -160,6 +161,7 @@ void ProtocolContext::checkpoint(const std::string& completed) {
     for (int d = 0; d < 2; ++d) {
       const Party p = static_cast<Party>(d);
       cp.send_watermark[d] = framed.sent_count(p);
+      cp.journal_base[d] = framed.journal_base(p);
       cp.frame_crc[d] = framed.journal(p);
       for (std::size_t k = 0; k < kMessageKindCount; ++k) {
         cp.kind_counts[d][k] = framed.kind_count(p, static_cast<MessageKind>(k));

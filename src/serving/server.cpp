@@ -33,7 +33,7 @@ bool SessionTicket::done() const {
 }
 
 PrimerServer::PrimerServer(std::vector<ModelSpec> models, ServerConfig cfg)
-    : models_(std::move(models)), cfg_(cfg) {
+    : models_(std::move(models)), cfg_(cfg), sessions_(cfg.store_dir) {
   if (models_.empty()) {
     throw std::invalid_argument("PrimerServer: at least one model required");
   }

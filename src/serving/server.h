@@ -70,6 +70,12 @@ struct ServerConfig {
   double session_wall_budget_s = 0.0;
   int max_restarts = 3;
   double drain_deadline_s = 30.0;
+  // Root directory for durable per-client checkpoint stores (empty = keep
+  // everything in memory).  With a directory set, cached key material and
+  // checkpoints survive a real server restart: the next PrimerServer built
+  // over the same root re-adopts every client and their first request
+  // resumes at zero wire cost.
+  std::string store_dir;
 };
 
 struct InferenceRequest {

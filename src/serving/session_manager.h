@@ -7,6 +7,18 @@
 // kSessionHello/kSessionResume handshake and replays the checkpointed
 // prefix — key material included — at zero wire cost.
 //
+// With a durable root directory the stores are DurableSessionStores
+// (net/session_fs.h) laid out as
+//
+//   <root>/client_<id>/       the client's checkpoint blobs
+//   <root>/client_<id>.fp     its request fingerprint (atomic 8-byte file)
+//
+// and the constructor re-adopts every client found on disk — so cached
+// key material survives a REAL process restart: a returning client's next
+// request replays the key transfer at zero wire cost against a freshly
+// exec'd server.  Without a root the stores are the in-memory base class
+// (the pre-durability behavior, still used by tests and benches).
+//
 // Isolation rules:
 //   * at most one in-flight session per client (two concurrent sessions
 //     would race one checkpoint history);
@@ -26,11 +38,19 @@
 #include <string>
 
 #include "net/session.h"
+#include "net/session_fs.h"
 
 namespace primer {
 
 class SessionManager {
  public:
+  // In-memory stores only (no durability).
+  SessionManager() = default;
+  // Durable mode: per-client stores rooted at `store_root` (created if
+  // missing); an empty root means in-memory.  Re-adopts every client
+  // directory found under the root.
+  explicit SessionManager(std::string store_root);
+
   enum class Acquire {
     kOk,           // lease granted
     kQuarantined,  // client poisoned earlier; request must be refused
@@ -66,24 +86,48 @@ class SessionManager {
     std::size_t store_bytes = 0;  // persisted checkpoint bytes, all clients
     std::uint64_t resumable_hits = 0;  // leases that found checkpoints
     std::uint64_t resets = 0;          // stores cleared on fingerprint change
+    // Durable-storage telemetry, aggregated across every client store
+    // (all zero in in-memory mode).
+    std::uint64_t recovered_clients = 0;   // re-adopted from disk at boot
+    std::uint64_t store_bytes_written = 0;
+    std::uint64_t store_fsyncs = 0;
+    std::uint64_t store_degradations = 0;  // persists that fell back to RAM
+    std::uint64_t store_recovered_blobs = 0;
+    std::uint64_t store_quarantined_blobs = 0;
+    std::size_t stores_degraded = 0;       // stores currently memory-only
   };
   Stats stats() const;
 
+  bool durable() const { return !store_root_.empty(); }
+  const std::string& store_root() const { return store_root_; }
+
  private:
   struct ClientState {
-    SessionStore store;
+    // Polymorphic seam: an in-memory SessionStore or a DurableSessionStore,
+    // chosen by the manager's mode.
+    std::unique_ptr<SessionStore> store;
     std::uint64_t fingerprint = 0;
     bool in_flight = false;
     bool quarantined = false;
     std::string quarantine_reason;
   };
 
+  // Creates the state (and its store) for a client id; caller holds mu_.
+  ClientState& client_locked(std::uint64_t client_id);
+  std::string client_dir(std::uint64_t client_id) const;
+  std::string fingerprint_path(std::uint64_t client_id) const;
+  void persist_fingerprint(std::uint64_t client_id, std::uint64_t fp);
+  // Boot-time re-adoption of client_<id>/ directories under the root.
+  void adopt_existing_clients();
+
   // unique_ptr keeps ClientState (and the SessionStore a worker holds a
   // lease on) at a stable address while the map rehashes under new clients.
   mutable std::mutex mu_;
   std::map<std::uint64_t, std::unique_ptr<ClientState>> clients_;
+  std::string store_root_;
   std::uint64_t resumable_hits_ = 0;
   std::uint64_t resets_ = 0;
+  std::uint64_t recovered_clients_ = 0;
 };
 
 }  // namespace primer

@@ -299,6 +299,49 @@ TEST(Serving, ReconnectingClientReplaysKeysAtZeroWireCost) {
   EXPECT_GE(server.sessions().stats().resets, 1u);
 }
 
+TEST(Serving, DurableStoreSurvivesServerRestart) {
+  char tmpl[] = "primer_serving_store_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string root = tmpl;
+
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.store_dir = root;
+  std::uint64_t first_bytes = 0;
+  {
+    PrimerServer server({nano_spec()}, cfg);
+    EXPECT_TRUE(server.sessions().durable());
+    const SessionOutcome first = server.infer(request(9));
+    ASSERT_EQ(first.status, SessionStatus::kCompleted) << first.error;
+    EXPECT_EQ(first.result.logits, fixture().ref);
+    // The checkpoints genuinely hit the disk, and the cost is visible.
+    EXPECT_GT(first.result.store_bytes_written, 0u);
+    EXPECT_GT(first.result.store_fsyncs, 0u);
+    EXPECT_EQ(first.result.store_degradations, 0u);
+    first_bytes = first.result.total_bytes;
+    const ServerStats s = server.stats();
+    EXPECT_GT(s.sessions.store_bytes_written, 0u);
+    EXPECT_GT(s.sessions.store_fsyncs, 0u);
+  }
+  // A brand-new server over the same root — the restarted process — must
+  // re-adopt the client from disk, so its next request replays the cached
+  // key material at zero wire cost instead of re-paying the transfer.
+  PrimerServer server({nano_spec()}, cfg);
+  EXPECT_GE(server.stats().sessions.recovered_clients, 1u);
+  const SessionOutcome again = server.infer(request(9));
+  ASSERT_EQ(again.status, SessionStatus::kCompleted) << again.error;
+  EXPECT_EQ(again.result.logits, fixture().ref);
+  EXPECT_GT(again.result.resumed_epoch, 0u);
+  EXPECT_GT(again.result.replayed_bytes, 0u);
+  EXPECT_LT(again.result.total_bytes, first_bytes / 4)
+      << "restart should not re-pay the multi-MB key transfer";
+  EXPECT_GE(server.stats().sessions.resumable_hits, 1u);
+
+  // Scratch cleanup (test-local; the store itself never deletes the root).
+  const std::string cmd = "rm -rf " + root;
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+}
+
 // --- graceful drain ----------------------------------------------------------
 
 TEST(Serving, GracefulDrainCheckpointsInFlightWithinDeadline) {
@@ -378,6 +421,11 @@ TEST(ServingChaos, Soak) {
   cfg.max_queue = n;  // admission is not under test here; isolation is
   cfg.phase_deadline_s = 60.0;
   cfg.max_restarts = 3;
+  // Optionally durable: the soak harness points this at a scratch root to
+  // run the whole chaos matrix against real on-disk stores.
+  if (const char* sd = std::getenv("PRIMER_SERVING_STORE_DIR")) {
+    cfg.store_dir = sd;
+  }
   PrimerServer server({nano_spec(PrimerVariant::kFP),
                        nano_spec(PrimerVariant::kF)},
                       cfg);

@@ -30,74 +30,16 @@ A failing offset reproduces with:
 """
 
 import argparse
-import json
-import os
-import random
-import re
-import subprocess
 import sys
 
+import soaklib
+
+TOOL = "chaos_soak"
 TEST_BINARY = "test_session_resume"
 PROBE_FILTER = "SessionChaos.ProbeTotalFrames"
 KILL_FILTER = "SessionChaos.KillRecovery"
 STALL_FILTER = "SessionChaos.StallRecovery"
 PER_RUN_TIMEOUT_S = 300  # a hung resume must fail the soak, not the CI job
-
-
-def run_probe(binary):
-    env = dict(os.environ)
-    env["PRIMER_CHAOS_PROBE"] = "1"
-    cmd = [binary, f"--gtest_filter={PROBE_FILTER}"]
-    proc = subprocess.run(cmd, env=env, capture_output=True, text=True,
-                          timeout=PER_RUN_TIMEOUT_S)
-    if proc.returncode != 0:
-        sys.stderr.write(proc.stdout)
-        sys.stderr.write(proc.stderr)
-        raise RuntimeError("chaos_soak: probe run failed")
-    phases = []  # (phase_name, end_frame), ascending
-    total = None
-    for line in proc.stdout.splitlines():
-        m = re.match(r"CHAOS phase=(\S+) end_frame=(\d+)", line)
-        if m:
-            phases.append((m.group(1), int(m.group(2))))
-        m = re.match(r"CHAOS total_frames=(\d+)", line)
-        if m:
-            total = int(m.group(1))
-    if total is None or not phases:
-        raise RuntimeError("chaos_soak: probe printed no CHAOS lines")
-    return phases, total
-
-
-def pick_points(phases, total, want, seed):
-    """Kill offsets covering every phase segment, `want` points minimum."""
-    # Segments between consecutive checkpoint boundaries, plus the tail up
-    # to the final frame.  Frame indices are 1-based.
-    bounds = [0] + [end for _, end in phases] + [total]
-    names = ["handshake+" + phases[0][0]] + \
-            [f"after_{p}" for p, _ in phases[:-1]] + ["tail"]
-    segments = []
-    for i in range(len(bounds) - 1):
-        lo, hi = bounds[i] + 1, bounds[i + 1]
-        if lo <= hi:
-            segments.append((names[i], lo, hi))
-
-    rng = random.Random(seed)
-    points = set()
-    # Every segment contributes its first and last frame (boundary kills are
-    # the nastiest: right before/after a checkpoint is persisted)...
-    for _, lo, hi in segments:
-        points.add(lo)
-        points.add(hi)
-    # ...then proportional random fill until the target count is met.
-    frames_total = sum(hi - lo + 1 for _, lo, hi in segments)
-    for _, lo, hi in segments:
-        share = max(1, round(want * (hi - lo + 1) / frames_total))
-        for _ in range(share):
-            points.add(rng.randint(lo, hi))
-    while len(points) < want:
-        _, lo, hi = segments[rng.randrange(len(segments))]
-        points.add(rng.randint(lo, hi))
-    return sorted(points), segments
 
 
 def main():
@@ -111,50 +53,43 @@ def main():
                     help="write a machine-readable JSON summary artifact here")
     args = ap.parse_args()
 
-    binary = os.path.join(args.build_dir, TEST_BINARY)
-    if not os.path.exists(binary):
-        print(f"chaos_soak: {binary} not found (build it first)",
-              file=sys.stderr)
+    binary = soaklib.find_binary(args.build_dir, TEST_BINARY, TOOL)
+    if binary is None:
         return 1
 
-    phases, total = run_probe(binary)
-    points, segments = pick_points(phases, total, args.points, args.seed)
+    probe = soaklib.run_cell(binary, PROBE_FILTER,
+                             {"PRIMER_CHAOS_PROBE": "1"},
+                             timeout_s=PER_RUN_TIMEOUT_S, brief=False)
+    if not probe.ok:
+        soaklib.dump_failure(TOOL, "probe", probe)
+        return 1
+    phases, total, _ = soaklib.parse_probe(probe.stdout, TOOL)
+    points, segments = soaklib.pick_points(phases, total, args.points,
+                                           args.seed)
     seg_desc = ", ".join(f"{name}[{lo}..{hi}]" for name, lo, hi in segments)
-    print(f"chaos_soak: {total} wire frames, segments: {seg_desc}")
-    print(f"chaos_soak: {len(points)} kill/stall points: {points}")
+    print(f"{TOOL}: {total} wire frames, segments: {seg_desc}")
+    print(f"{TOOL}: {len(points)} kill/stall points: {points}")
 
     failures = []
     runs = []
     for i, frame in enumerate(points):
-        stall = args.stall_every > 0 and i % args.stall_every == args.stall_every - 1
-        env = dict(os.environ)
+        stall = (args.stall_every > 0 and
+                 i % args.stall_every == args.stall_every - 1)
         if stall:
-            env["PRIMER_FAULT_STALL_AFTER"] = str(frame)
-            env["PRIMER_FAULT_STALL_S"] = "300"
-            env["PRIMER_PHASE_DEADLINE_S"] = "60"
+            env = {"PRIMER_FAULT_STALL_AFTER": str(frame),
+                   "PRIMER_FAULT_STALL_S": "300",
+                   "PRIMER_PHASE_DEADLINE_S": "60"}
             gfilter = STALL_FILTER
         else:
-            env["PRIMER_FAULT_KILL_AFTER"] = str(frame)
+            env = {"PRIMER_FAULT_KILL_AFTER": str(frame)}
             gfilter = KILL_FILTER
-        cmd = [binary, f"--gtest_filter={gfilter}", "--gtest_brief=1"]
         kind = "stall" if stall else "kill"
         record = {"kind": kind, "frame": frame, "ok": False}
-        try:
-            proc = subprocess.run(cmd, env=env, capture_output=True,
-                                  text=True, timeout=PER_RUN_TIMEOUT_S)
-        except subprocess.TimeoutExpired:
-            print(f"chaos_soak: {kind}@{frame}: TIMEOUT "
-                  f"(>{PER_RUN_TIMEOUT_S}s)", file=sys.stderr)
-            record["error"] = "timeout"
-            failures.append((kind, frame))
-            runs.append(record)
-            continue
-        if proc.returncode != 0:
-            print(f"chaos_soak: {kind}@{frame}: FAILED "
-                  f"(exit {proc.returncode})", file=sys.stderr)
-            sys.stderr.write(proc.stdout)
-            sys.stderr.write(proc.stderr)
-            record["error"] = f"exit {proc.returncode}"
+        result = soaklib.run_cell(binary, gfilter, env,
+                                  timeout_s=PER_RUN_TIMEOUT_S)
+        if not result.ok:
+            soaklib.dump_failure(TOOL, f"{kind}@{frame}", result)
+            record["error"] = result.error
             failures.append((kind, frame))
         else:
             record["ok"] = True
@@ -162,24 +97,19 @@ def main():
 
     n = len(points)
     if args.json_out:
-        with open(args.json_out, "w") as f:
-            json.dump({"tool": "chaos_soak", "seed": args.seed,
-                       "total_frames": total,
-                       "segments": [{"name": name, "lo": lo, "hi": hi}
-                                    for name, lo, hi in segments],
-                       "points_run": n,
-                       "failures": [{"kind": k, "frame": fr}
-                                    for k, fr in failures],
-                       "runs": runs}, f, indent=2)
-            f.write("\n")
-        print(f"chaos_soak: wrote {args.json_out}")
-    if failures:
-        print(f"chaos_soak: {len(failures)}/{n} points failed: {failures}",
-              file=sys.stderr)
-        return 1
-    print(f"chaos_soak: all {n} points recovered bit-identical "
-          f"(seed={args.seed}, stall_every={args.stall_every})")
-    return 0
+        soaklib.write_json(TOOL, args.json_out, {
+            "seed": args.seed,
+            "total_frames": total,
+            "segments": [{"name": name, "lo": lo, "hi": hi}
+                         for name, lo, hi in segments],
+            "points_run": n,
+            "failures": [{"kind": k, "frame": fr} for k, fr in failures],
+            "runs": runs,
+        })
+    return soaklib.finish(
+        TOOL, n, failures,
+        f"all {n} points recovered bit-identical "
+        f"(seed={args.seed}, stall_every={args.stall_every})")
 
 
 if __name__ == "__main__":

@@ -20,6 +20,12 @@ and checks every "framing_overhead" record:
     time — must also stay under --max-ratio.  Deterministic by construction:
     the handshake bytes and checkpoint count come from a live resilient run,
     the network seconds from the paper's fixed testbed model.
+  * session_durable_overhead_ratio — the same bound with every checkpoint
+    persisted through the crash-consistent DurableSessionStore (serialize +
+    atomic temp/fsync/rename/dir-fsync write, micro-measured with real
+    fsyncs), i.e. the full price of surviving SIGKILL rather than just an
+    in-process throw.  Must also stay under --max-ratio, and the durable
+    run's fsync/byte counters must be nonzero or the arm measured nothing.
 
 A file with no framing_overhead record FAILS: the gate would otherwise be
 green while checking nothing (e.g. after a bench rename).
@@ -64,13 +70,15 @@ def main():
         e2e = rec.get("e2e_overhead_ratio")
         byte = rec.get("byte_overhead_ratio")
         session = rec.get("session_e2e_overhead_ratio")
+        durable = rec.get("session_durable_overhead_ratio")
         label = rec.get("label", "?")
-        if e2e is None or byte is None or session is None:
+        if e2e is None or byte is None or session is None or durable is None:
             print(f"check_framing_overhead: FAIL [{label}]: record is "
                   f"missing ratio fields: {rec}", file=sys.stderr)
             ok = False
             continue
-        for field in ("session_checkpoints", "session_handshake_bytes"):
+        for field in ("session_checkpoints", "session_handshake_bytes",
+                      "durable_fsyncs", "durable_bytes_written"):
             if not rec.get(field):
                 print(f"check_framing_overhead: FAIL [{label}]: {field} is "
                       f"missing or zero — the resilient run measured nothing",
@@ -78,13 +86,14 @@ def main():
                 ok = False
         status = "ok"
         if (e2e >= args.max_ratio or byte >= args.max_ratio
-                or session >= args.max_ratio):
+                or session >= args.max_ratio or durable >= args.max_ratio):
             status = "FAIL"
             ok = False
         print(f"check_framing_overhead: {status} [{label}] "
               f"e2e_overhead={100 * e2e:.3f}% "
               f"byte_overhead={100 * byte:.4f}% "
               f"session_overhead={100 * session:.3f}% "
+              f"durable_overhead={100 * durable:.3f}% "
               f"(limit {100 * args.max_ratio:.1f}%)")
     return 0 if ok else 1
 

@@ -21,11 +21,11 @@ per seed, so a failing seed reproduces with:
 """
 
 import argparse
-import json
-import os
-import subprocess
 import sys
 
+import soaklib
+
+TOOL = "corruption_soak"
 TEST_BINARY = "test_failure_injection"
 TEST_FILTER = "RetryLayer.SeededSoakGcSessionNeverCrashes"
 PER_RUN_TIMEOUT_S = 120  # a hung retry loop must fail the soak, not the CI job
@@ -42,10 +42,8 @@ def main():
                     help="write a machine-readable JSON summary artifact here")
     args = ap.parse_args()
 
-    binary = os.path.join(args.build_dir, TEST_BINARY)
-    if not os.path.exists(binary):
-        print(f"corruption_soak: {binary} not found (build it first)",
-              file=sys.stderr)
+    binary = soaklib.find_binary(args.build_dir, TEST_BINARY, TOOL)
+    if binary is None:
         return 1
 
     # The test falls back to its built-in mix only when NO fault knob is
@@ -64,49 +62,32 @@ def main():
     failures = []
     runs = []
     for seed in range(args.start, args.start + args.seeds):
-        env = dict(os.environ)
-        env["PRIMER_FAULT_SEED"] = str(seed)
+        env = {"PRIMER_FAULT_SEED": str(seed)}
         for knob, p in mix.items():
             env[f"PRIMER_FAULT_{knob.upper()}"] = str(p)
-        cmd = [binary, f"--gtest_filter={TEST_FILTER}", "--gtest_brief=1"]
         record = {"seed": seed, "ok": False}
-        try:
-            proc = subprocess.run(cmd, env=env, capture_output=True,
-                                  text=True, timeout=PER_RUN_TIMEOUT_S)
-        except subprocess.TimeoutExpired:
-            print(f"corruption_soak: seed {seed}: TIMEOUT "
-                  f"(>{PER_RUN_TIMEOUT_S}s)", file=sys.stderr)
-            record["error"] = "timeout"
-            failures.append(seed)
-            runs.append(record)
-            continue
-        if proc.returncode != 0:
-            print(f"corruption_soak: seed {seed}: FAILED "
-                  f"(exit {proc.returncode})", file=sys.stderr)
-            sys.stderr.write(proc.stdout)
-            sys.stderr.write(proc.stderr)
-            record["error"] = f"exit {proc.returncode}"
+        result = soaklib.run_cell(binary, TEST_FILTER, env,
+                                  timeout_s=PER_RUN_TIMEOUT_S)
+        if not result.ok:
+            soaklib.dump_failure(TOOL, f"seed {seed}", result)
+            record["error"] = result.error
             failures.append(seed)
         else:
             record["ok"] = True
         runs.append(record)
 
     if args.json_out:
-        with open(args.json_out, "w") as f:
-            json.dump({"tool": "corruption_soak", "start": args.start,
-                       "seeds_run": args.seeds, "mix": mix or "built-in",
-                       "seeds_failed": failures, "runs": runs}, f, indent=2)
-            f.write("\n")
-        print(f"corruption_soak: wrote {args.json_out}")
-
-    n = args.seeds
-    if failures:
-        print(f"corruption_soak: {len(failures)}/{n} seeds failed: "
-              f"{failures}", file=sys.stderr)
-        return 1
-    print(f"corruption_soak: all {n} seeds passed "
-          f"(start={args.start}, mix={'overridden' if mix else 'built-in'})")
-    return 0
+        soaklib.write_json(TOOL, args.json_out, {
+            "start": args.start,
+            "seeds_run": args.seeds,
+            "mix": mix or "built-in",
+            "seeds_failed": failures,
+            "runs": runs,
+        })
+    return soaklib.finish(
+        TOOL, args.seeds, failures,
+        f"all {args.seeds} seeds passed (start={args.start}, "
+        f"mix={'overridden' if mix else 'built-in'})")
 
 
 if __name__ == "__main__":

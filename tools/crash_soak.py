@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Real-process-death crash soak: SIGKILL a live inference at seeded wire
+frames and assert a FRESHLY EXEC'D process recovers bit-identical output
+from the durable on-disk session store.
+
+Usage:
+  crash_soak.py BUILD_DIR [--points 12] [--seed 1] [--keep-stores]
+                [--json-out FILE]
+
+Unlike chaos_soak.py — which injects an in-process throw and lets the same
+process retry — every point here is two real processes:
+
+  1. CrashRun: a child inference (DurableChaos.CrashRun in test_session_fs)
+     checkpointing into a scratch DurableSessionStore, with
+     PRIMER_FAULT_KILL_MODE=sigkill arming a genuine SIGKILL at wire frame
+     PRIMER_FAULT_KILL_AFTER.  The child must die by signal 9 — no atexit
+     handlers, no destructors, no flushing.  Whatever the store's atomic
+     write protocol had committed is all that survives.
+  2. RecoverRun: a brand-new process over the same directory.  Its recovery
+     scan adopts the surviving blobs (quarantining any torn debris), the
+     resume handshake picks the last common epoch, the checkpointed prefix
+     — multi-MB key material included — replays at zero wire cost, and the
+     finished logits must equal the probe's bit for bit.
+
+Kill points are seeded and cover every phase segment (each segment
+contributes at least its boundary frames).  A failing point reproduces
+with:
+  PRIMER_STORE_DIR=<dir> PRIMER_FAULT_KILL_MODE=sigkill \
+      PRIMER_FAULT_KILL_AFTER=<frame> \
+      ./test_session_fs --gtest_filter='DurableChaos.CrashRun'
+  PRIMER_STORE_DIR=<dir> ./test_session_fs \
+      --gtest_filter='DurableChaos.RecoverRun'
+"""
+
+import argparse
+import re
+import shutil
+import signal
+import sys
+import tempfile
+
+import soaklib
+
+TOOL = "crash_soak"
+TEST_BINARY = "test_session_fs"
+PROBE_FILTER = "DurableChaos.Probe"
+CRASH_FILTER = "DurableChaos.CrashRun"
+RECOVER_FILTER = "DurableChaos.RecoverRun"
+PER_RUN_TIMEOUT_S = 300
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("build_dir")
+    ap.add_argument("--points", type=int, default=12)
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--keep-stores", action="store_true",
+                    help="keep each point's store directory for post-mortem")
+    ap.add_argument("--json-out", default=None,
+                    help="write a machine-readable JSON summary artifact here")
+    args = ap.parse_args()
+
+    binary = soaklib.find_binary(args.build_dir, TEST_BINARY, TOOL)
+    if binary is None:
+        return 1
+
+    probe = soaklib.run_cell(binary, PROBE_FILTER,
+                             {"PRIMER_CHAOS_PROBE": "1"},
+                             timeout_s=PER_RUN_TIMEOUT_S, brief=False)
+    if not probe.ok:
+        soaklib.dump_failure(TOOL, "probe", probe)
+        return 1
+    phases, total, extras = soaklib.parse_probe(probe.stdout, TOOL)
+    ref_logits = extras.get("logits")
+    if not ref_logits:
+        print(f"{TOOL}: probe printed no reference logits", file=sys.stderr)
+        return 1
+    points, segments = soaklib.pick_points(phases, total, args.points,
+                                           args.seed)
+    # A kill past the last frame never fires: the child would exit 0, not
+    # die, and the point would test nothing.
+    points = [p for p in points if p < total]
+    seg_desc = ", ".join(f"{name}[{lo}..{hi}]" for name, lo, hi in segments)
+    print(f"{TOOL}: {total} wire frames, segments: {seg_desc}")
+    print(f"{TOOL}: {len(points)} SIGKILL points: {points}")
+
+    failures = []
+    runs = []
+    for frame in points:
+        store = tempfile.mkdtemp(prefix=f"crash_soak_{frame}_")
+        record = {"frame": frame, "store": store, "ok": False}
+
+        def fail(stage, result):
+            soaklib.dump_failure(TOOL, f"kill@{frame} [{stage}]", result)
+            record["error"] = f"{stage}: {result.error}"
+            failures.append(frame)
+
+        # Stage 1: the child must die by a real SIGKILL at the seeded frame.
+        crash = soaklib.run_cell(
+            binary, CRASH_FILTER,
+            {"PRIMER_STORE_DIR": store,
+             "PRIMER_FAULT_KILL_AFTER": str(frame),
+             "PRIMER_FAULT_KILL_MODE": "sigkill"},
+            timeout_s=PER_RUN_TIMEOUT_S, expect_signal=signal.SIGKILL)
+        if not crash.ok:
+            fail("crash", crash)
+            runs.append(record)
+            continue
+
+        # Stage 2: a fresh process recovers from whatever hit the disk.
+        result_file = f"{store}/recovery.txt"
+        recover = soaklib.run_cell(
+            binary, RECOVER_FILTER,
+            {"PRIMER_STORE_DIR": store,
+             "PRIMER_CRASH_RESULT_FILE": result_file},
+            timeout_s=PER_RUN_TIMEOUT_S)
+        if not recover.ok:
+            fail("recover", recover)
+            runs.append(record)
+            continue
+
+        try:
+            with open(result_file) as f:
+                text = f.read().strip()
+        except OSError:
+            recover.error = "no recovery result file"
+            fail("recover", recover)
+            runs.append(record)
+            continue
+        m = re.match(r"resumed_epoch=(\d+) replayed_bytes=(\d+) logits=(\S+)",
+                     text)
+        if m is None or m.group(3) != ref_logits:
+            recover.error = f"recovery output mismatch: {text!r}"
+            fail("verify", recover)
+            runs.append(record)
+            continue
+        record.update(ok=True, resumed_epoch=int(m.group(1)),
+                      replayed_bytes=int(m.group(2)))
+        print(f"{TOOL}: kill@{frame}: recovered bit-identical "
+              f"(resumed_epoch={record['resumed_epoch']} "
+              f"replayed_bytes={record['replayed_bytes']})")
+        runs.append(record)
+
+    if not args.keep_stores:
+        for r in runs:
+            shutil.rmtree(r.pop("store"), ignore_errors=True)
+
+    n = len(points)
+    if args.json_out:
+        soaklib.write_json(TOOL, args.json_out, {
+            "seed": args.seed,
+            "total_frames": total,
+            "segments": [{"name": name, "lo": lo, "hi": hi}
+                         for name, lo, hi in segments],
+            "points_run": n,
+            "points_failed": failures,
+            "runs": runs,
+        })
+    return soaklib.finish(
+        TOOL, n, failures,
+        f"all {n} SIGKILLed processes recovered bit-identical "
+        f"(seed={args.seed})")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

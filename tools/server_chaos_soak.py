@@ -3,7 +3,7 @@
 
 Usage:
   server_chaos_soak.py BUILD_DIR [--seeds 5] [--start 1] [--sessions 16]
-                       [--workers 4] [--json-out FILE]
+                       [--workers 4] [--store-dir DIR] [--json-out FILE]
 
 For every seed the env-gated soak cell (ServingChaos.Soak in test_serving)
 stands up a PrimerServer and submits N concurrent tenant sessions, a seeded
@@ -16,9 +16,12 @@ The cell itself asserts the serving runtime's isolation contract:
     never a crash, hang, or cross-session failure;
   * the server then drains cleanly within its deadline.
 
-Any other outcome (crash, hang, assertion) fails the soak.  Each run prints
-a "SERVERSOAK {json}" summary line; this driver aggregates them and, with
---json-out, writes a machine-readable artifact for CI upload.
+Any other outcome (crash, hang, assertion) fails the soak.  With
+--store-dir the server runs on durable per-client stores rooted there
+(PRIMER_SERVING_STORE_DIR), so the whole chaos matrix also exercises the
+on-disk checkpoint path.  Each run prints a "SERVERSOAK {json}" summary
+line; this driver aggregates them and, with --json-out, writes a
+machine-readable artifact for CI upload.
 
 Deterministic per seed; a failing seed reproduces with:
   PRIMER_SERVER_SOAK=1 PRIMER_SERVER_SOAK_SEED=<seed> \
@@ -28,9 +31,11 @@ Deterministic per seed; a failing seed reproduces with:
 import argparse
 import json
 import os
-import subprocess
 import sys
 
+import soaklib
+
+TOOL = "server_chaos_soak"
 TEST_BINARY = "test_serving"
 TEST_FILTER = "ServingChaos.Soak"
 # Generous: each tenant session is a full (nano) private inference and the
@@ -45,53 +50,46 @@ def main():
     ap.add_argument("--start", type=int, default=1)
     ap.add_argument("--sessions", type=int, default=16)
     ap.add_argument("--workers", type=int, default=4)
+    ap.add_argument("--store-dir", default=None,
+                    help="run durable: per-client stores rooted here "
+                         "(one subdirectory per seed)")
     ap.add_argument("--json-out", default=None,
                     help="write an aggregated JSON summary artifact here")
     args = ap.parse_args()
 
-    binary = os.path.join(args.build_dir, TEST_BINARY)
-    if not os.path.exists(binary):
-        print(f"server_chaos_soak: {binary} not found (build it first)",
-              file=sys.stderr)
+    binary = soaklib.find_binary(args.build_dir, TEST_BINARY, TOOL)
+    if binary is None:
         return 1
 
     runs = []
     failures = []
     for seed in range(args.start, args.start + args.seeds):
-        env = dict(os.environ)
-        env["PRIMER_SERVER_SOAK"] = "1"
-        env["PRIMER_SERVER_SOAK_SEED"] = str(seed)
-        env["PRIMER_SERVER_SOAK_SESSIONS"] = str(args.sessions)
-        env["PRIMER_SERVER_SOAK_WORKERS"] = str(args.workers)
-        cmd = [binary, f"--gtest_filter={TEST_FILTER}"]
+        env = {"PRIMER_SERVER_SOAK": "1",
+               "PRIMER_SERVER_SOAK_SEED": str(seed),
+               "PRIMER_SERVER_SOAK_SESSIONS": str(args.sessions),
+               "PRIMER_SERVER_SOAK_WORKERS": str(args.workers)}
+        if args.store_dir:
+            store = os.path.join(args.store_dir, f"seed_{seed}")
+            os.makedirs(store, exist_ok=True)
+            env["PRIMER_SERVING_STORE_DIR"] = store
         record = {"seed": seed, "ok": False}
-        try:
-            proc = subprocess.run(cmd, env=env, capture_output=True,
-                                  text=True, timeout=PER_RUN_TIMEOUT_S)
-        except subprocess.TimeoutExpired:
-            print(f"server_chaos_soak: seed {seed}: TIMEOUT "
-                  f"(>{PER_RUN_TIMEOUT_S}s)", file=sys.stderr)
-            record["error"] = "timeout"
-            failures.append(seed)
-            runs.append(record)
-            continue
+        result = soaklib.run_cell(binary, TEST_FILTER, env,
+                                  timeout_s=PER_RUN_TIMEOUT_S, brief=False)
         summary = None
-        for line in proc.stdout.splitlines():
-            if line.startswith("SERVERSOAK "):
-                summary = json.loads(line[len("SERVERSOAK "):])
-        if proc.returncode != 0 or summary is None:
-            why = (f"exit {proc.returncode}" if proc.returncode != 0
-                   else "no SERVERSOAK summary line")
-            print(f"server_chaos_soak: seed {seed}: FAILED ({why})",
-                  file=sys.stderr)
-            sys.stderr.write(proc.stdout)
-            sys.stderr.write(proc.stderr)
-            record["error"] = why
+        if result.returncode is not None:
+            for line in result.stdout.splitlines():
+                if line.startswith("SERVERSOAK "):
+                    summary = json.loads(line[len("SERVERSOAK "):])
+        if not result.ok or summary is None:
+            if result.ok:
+                result.error = "no SERVERSOAK summary line"
+            soaklib.dump_failure(TOOL, f"seed {seed}", result)
+            record["error"] = result.error
             failures.append(seed)
         else:
             record["ok"] = True
             record.update(summary)
-            print(f"server_chaos_soak: seed {seed}: ok "
+            print(f"{TOOL}: seed {seed}: ok "
                   f"(injected={summary.get('injected')} "
                   f"completed={summary.get('completed')} "
                   f"poisoned={summary.get('poisoned')} "
@@ -99,9 +97,9 @@ def main():
         runs.append(record)
 
     aggregate = {
-        "tool": "server_chaos_soak",
         "sessions_per_seed": args.sessions,
         "workers": args.workers,
+        "durable": bool(args.store_dir),
         "seeds_run": args.seeds,
         "seeds_failed": failures,
         "total_injected": sum(r.get("injected", 0) for r in runs),
@@ -110,20 +108,13 @@ def main():
         "runs": runs,
     }
     if args.json_out:
-        with open(args.json_out, "w") as f:
-            json.dump(aggregate, f, indent=2)
-            f.write("\n")
-        print(f"server_chaos_soak: wrote {args.json_out}")
-
-    if failures:
-        print(f"server_chaos_soak: {len(failures)}/{args.seeds} seeds "
-              f"failed: {failures}", file=sys.stderr)
-        return 1
-    print(f"server_chaos_soak: all {args.seeds} seeds passed "
-          f"({aggregate['total_injected']} faults injected, "
-          f"{aggregate['total_completed']} sessions bit-identical, "
-          f"{aggregate['total_poisoned']} poisoned+quarantined)")
-    return 0
+        soaklib.write_json(TOOL, args.json_out, aggregate)
+    return soaklib.finish(
+        TOOL, args.seeds, failures,
+        f"all {args.seeds} seeds passed "
+        f"({aggregate['total_injected']} faults injected, "
+        f"{aggregate['total_completed']} sessions bit-identical, "
+        f"{aggregate['total_poisoned']} poisoned+quarantined)")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,157 @@
+"""Shared plumbing for the soak drivers (chaos_soak, corruption_soak,
+server_chaos_soak, crash_soak).
+
+Every soak follows the same shape: locate a gtest binary in the build dir,
+run one env-parameterized cell per point/seed with a hard timeout, collect
+per-run records, optionally write a machine-readable JSON artifact, and
+exit nonzero if anything failed.  This module owns that shape so the
+drivers only contain their scheduling logic (what to run at which frame or
+seed) and their probe parsing.
+"""
+
+import json
+import os
+import random
+import re
+import subprocess
+import sys
+
+
+class CellResult:
+    """Outcome of one gtest-cell subprocess."""
+
+    def __init__(self, ok, error, returncode, stdout, stderr):
+        self.ok = ok
+        self.error = error  # None | "timeout" | "exit N" | "signal N"
+        self.returncode = returncode  # None on timeout
+        self.stdout = stdout
+        self.stderr = stderr
+
+
+def find_binary(build_dir, name, tool):
+    """Path to a test binary, or None (with a stderr message) if missing."""
+    path = os.path.join(build_dir, name)
+    if not os.path.exists(path):
+        print(f"{tool}: {path} not found (build it first)", file=sys.stderr)
+        return None
+    return path
+
+
+def run_cell(binary, gtest_filter, env_overrides=None, timeout_s=300,
+             brief=True, expect_signal=None):
+    """Runs one gtest cell as a subprocess.
+
+    ok means: exit 0, or — when expect_signal is set — death by exactly
+    that signal (the crash soak *wants* its child SIGKILLed).  A timeout is
+    always a failure: a hung recovery must fail the soak, not the CI job.
+    """
+    env = dict(os.environ)
+    env.update(env_overrides or {})
+    cmd = [binary, f"--gtest_filter={gtest_filter}"]
+    if brief:
+        cmd.append("--gtest_brief=1")
+    try:
+        proc = subprocess.run(cmd, env=env, capture_output=True, text=True,
+                              timeout=timeout_s)
+    except subprocess.TimeoutExpired:
+        return CellResult(False, "timeout", None, "", "")
+    rc = proc.returncode
+    if expect_signal is not None:
+        if rc == -expect_signal:
+            return CellResult(True, None, rc, proc.stdout, proc.stderr)
+        error = (f"exit {rc}" if rc >= 0 else f"signal {-rc}") + \
+            f" (expected signal {expect_signal})"
+        return CellResult(False, error, rc, proc.stdout, proc.stderr)
+    if rc != 0:
+        error = f"exit {rc}" if rc >= 0 else f"signal {-rc}"
+        return CellResult(False, error, rc, proc.stdout, proc.stderr)
+    return CellResult(True, None, rc, proc.stdout, proc.stderr)
+
+
+def dump_failure(tool, label, result):
+    """Standard stderr report for one failed cell."""
+    print(f"{tool}: {label}: FAILED ({result.error})", file=sys.stderr)
+    sys.stderr.write(result.stdout)
+    sys.stderr.write(result.stderr)
+
+
+def parse_probe(stdout, tool):
+    """Parses the CHAOS probe lines a probe cell prints.
+
+    Returns (phases, total, extras): phases is [(name, end_frame)]
+    ascending, total the final frame count, extras every other
+    "CHAOS key=value" line keyed by key.  Raises on a probe that printed
+    nothing usable.
+    """
+    phases = []
+    total = None
+    extras = {}
+    for line in stdout.splitlines():
+        m = re.match(r"CHAOS phase=(\S+) end_frame=(\d+)", line)
+        if m:
+            phases.append((m.group(1), int(m.group(2))))
+            continue
+        m = re.match(r"CHAOS total_frames=(\d+)", line)
+        if m:
+            total = int(m.group(1))
+            continue
+        m = re.match(r"CHAOS (\w+)=(\S+)", line)
+        if m:
+            extras[m.group(1)] = m.group(2)
+    if total is None or not phases:
+        raise RuntimeError(f"{tool}: probe printed no CHAOS lines")
+    return phases, total, extras
+
+
+def pick_points(phases, total, want, seed):
+    """Kill offsets covering every phase segment, `want` points minimum.
+
+    Segments lie between consecutive checkpoint boundaries, plus the tail
+    up to the final frame (frame indices are 1-based).  Every segment
+    contributes its first and last frame — boundary kills are the nastiest,
+    right before/after a checkpoint is persisted — then seeded random fill
+    proportional to segment size until the target count is met.
+    """
+    bounds = [0] + [end for _, end in phases] + [total]
+    names = ["handshake+" + phases[0][0]] + \
+            [f"after_{p}" for p, _ in phases[:-1]] + ["tail"]
+    segments = []
+    for i in range(len(bounds) - 1):
+        lo, hi = bounds[i] + 1, bounds[i + 1]
+        if lo <= hi:
+            segments.append((names[i], lo, hi))
+
+    rng = random.Random(seed)
+    points = set()
+    for _, lo, hi in segments:
+        points.add(lo)
+        points.add(hi)
+    frames_total = sum(hi - lo + 1 for _, lo, hi in segments)
+    for _, lo, hi in segments:
+        share = max(1, round(want * (hi - lo + 1) / frames_total))
+        for _ in range(share):
+            points.add(rng.randint(lo, hi))
+    while len(points) < want:
+        _, lo, hi = segments[rng.randrange(len(segments))]
+        points.add(rng.randint(lo, hi))
+    return sorted(points), segments
+
+
+def write_json(tool, path, payload):
+    """Writes {"tool": tool, **payload} as the JSON artifact at `path`."""
+    doc = {"tool": tool}
+    doc.update(payload)
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"{tool}: wrote {path}")
+
+
+def finish(tool, n, failures, ok_message):
+    """Final verdict: 0 if nothing failed, 1 (with a summary) otherwise."""
+    if failures:
+        print(f"{tool}: {len(failures)}/{n} failed: {failures}",
+              file=sys.stderr)
+        return 1
+    print(f"{tool}: {ok_message}")
+    return 0
